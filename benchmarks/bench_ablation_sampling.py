@@ -1,0 +1,54 @@
+"""Ablation: entry sampling (the paper's future-work extension).
+
+Measures the time/accuracy trade-off of P-Tucker-Sampled as the sample
+fraction shrinks: factor updates get cheaper roughly in proportion to the
+fraction, while the held-out RMSE degrades gracefully.
+"""
+
+import numpy as np
+
+from repro.core import PTucker, PTuckerConfig, PTuckerSampled
+from repro.data import planted_tucker_tensor
+from repro.experiments.report import render_table
+
+
+def test_ablation_sampling_fraction(benchmark):
+    """Sweep the sample fraction and report time per iteration and test RMSE."""
+
+    def run():
+        planted = planted_tucker_tensor(
+            shape=(300, 300, 60), ranks=(4, 4, 4), nnz=40_000, noise_level=0.02, seed=1
+        )
+        rng = np.random.default_rng(0)
+        train, test = planted.tensor.split(0.9, rng=rng)
+        config = PTuckerConfig(ranks=(4, 4, 4), max_iterations=4, seed=0, tolerance=0.0)
+
+        rows = []
+        exact = PTucker(config).fit(train)
+        rows.append(
+            {
+                "sample_fraction": 1.0,
+                "sec/iter": exact.trace.mean_iteration_seconds,
+                "test_rmse": exact.test_rmse(test),
+            }
+        )
+        for fraction in (0.5, 0.25, 0.1):
+            result = PTuckerSampled(config, sample_fraction=fraction).fit(train)
+            rows.append(
+                {
+                    "sample_fraction": fraction,
+                    "sec/iter": result.trace.mean_iteration_seconds,
+                    "test_rmse": result.test_rmse(test),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Ablation - sampling fraction trade-off"))
+    # Sampling a quarter of the entries must cut the factor-update cost
+    # noticeably while keeping the RMSE in the same order of magnitude.
+    full = rows[0]
+    quarter = next(row for row in rows if row["sample_fraction"] == 0.25)
+    assert quarter["sec/iter"] < full["sec/iter"]
+    assert quarter["test_rmse"] < 10 * full["test_rmse"]

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 10: thread scalability and scheduling ablation."""
+
+from repro.experiments import figure10
+from repro.experiments.report import render_table
+
+
+def test_fig10_thread_scalability(benchmark):
+    """Speed-up and memory versus the number of threads (simulated from workloads)."""
+    result = benchmark.pedantic(
+        lambda: figure10.run(
+            thread_counts=(1, 2, 4, 8, 16, 20),
+            dimensionality=2000,
+            nnz=20_000,
+            max_iterations=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result.rows, title="Figure 10 - speed-up and memory vs threads"))
+    for note in result.notes:
+        print(f"note: {note}")
+
+    speedups = {row["threads"]: row["speedup"] for row in result.rows}
+    assert speedups[1] == 1.0 or abs(speedups[1] - 1.0) < 1e-6
+    # Near-linear scaling: at 16 threads at least half the ideal speed-up.
+    assert speedups[16] > 8.0
+    memory = {row["threads"]: row["memory_MB"] for row in result.rows}
+    assert memory[20] > memory[1]

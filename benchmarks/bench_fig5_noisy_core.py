@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 5: the R(beta) distribution over core entries."""
+
+from repro.experiments import figure5
+from repro.experiments.report import render_table
+
+
+def test_fig5_partial_error_distribution(benchmark):
+    """Cumulative share of partial reconstruction error per core-entry decile."""
+    result = benchmark.pedantic(
+        lambda: figure5.run(rank=5, n_ratings=6000, max_iterations=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result.rows, title="Figure 5 - cumulative R(beta) share"))
+    for note in result.notes:
+        print(f"note: {note}")
+    shares = {row["core_entry_fraction"]: row["cumulative_error_share"] for row in result.rows}
+    # A small fraction of core entries must carry a disproportionate error share.
+    assert shares[0.2] > 0.3
+    assert abs(shares[1.0] - 1.0) < 1e-9

@@ -1,0 +1,47 @@
+"""Benchmarks regenerating Figure 6: data scalability of P-Tucker vs competitors.
+
+One benchmark per panel — (a) order, (b) dimensionality, (c) number of
+observable entries, (d) rank — plus per-solver timing benchmarks on a common
+workload so pytest-benchmark's own statistics give the per-iteration costs
+directly.
+"""
+
+import pytest
+
+from repro.core import PTuckerConfig
+from repro.experiments import figure6
+from repro.experiments.harness import run_algorithm
+from repro.experiments.report import render_table
+
+
+def _print_panel(result, panel):
+    rows = [row for row in result.rows if row["sweep"] == panel]
+    print()
+    print(render_table(rows, title=f"Figure 6({panel}) - time per iteration"))
+
+
+@pytest.mark.parametrize("panel", ["order", "dimensionality", "nnz", "rank"])
+def test_fig6_panel(benchmark, panel):
+    """Run one Figure 6 sweep and report per-point, per-method iteration times."""
+    result = benchmark.pedantic(
+        lambda: figure6.run(panels=(panel,), small=True, max_iterations=1),
+        rounds=1,
+        iterations=1,
+    )
+    _print_panel(result, panel)
+    ptucker_rows = [
+        row
+        for row in result.rows
+        if row["algorithm"] == "P-Tucker" and not row["oom"]
+    ]
+    assert ptucker_rows, "P-Tucker must complete every sweep point"
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["P-Tucker", "Tucker-CSF", "S-HOT"]
+)
+def test_fig6_solver_iteration_cost(benchmark, bench_sparse_tensor, algorithm):
+    """Directly benchmark one ALS iteration of each scalable method."""
+    config = PTuckerConfig(ranks=(5, 5, 5), max_iterations=1, seed=0)
+    outcome = benchmark(run_algorithm, algorithm, bench_sparse_tensor, config)
+    assert not outcome.out_of_memory

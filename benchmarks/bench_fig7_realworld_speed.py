@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 7: speed on the real-world tensor stand-ins."""
+
+from repro.experiments import figure7
+from repro.experiments.report import render_table
+
+
+def test_fig7_realworld_speed(benchmark):
+    """Per-dataset, per-method time per iteration (O.O.M. marked like empty bars)."""
+    result = benchmark.pedantic(
+        lambda: figure7.run(scale=0.2, max_iterations=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result.rows, title="Figure 7 - time per iteration by dataset"))
+    for note in result.notes:
+        print(f"note: {note}")
+    datasets = {row["dataset"] for row in result.rows}
+    assert datasets == {"MovieLens", "Yahoo-music", "Video", "Image"}
+    ptucker_ok = [
+        row for row in result.rows if row["algorithm"] == "P-Tucker" and not row["oom"]
+    ]
+    assert len(ptucker_ok) == 4, "P-Tucker must factorize every dataset"

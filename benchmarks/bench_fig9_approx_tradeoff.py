@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 9: P-Tucker vs P-Tucker-Approx convergence."""
+
+from repro.experiments import figure9
+from repro.experiments.report import render_table
+
+
+def test_fig9_approx_tradeoff(benchmark):
+    """Per-iteration time and error of both variants on the MovieLens stand-in."""
+    result = benchmark.pedantic(
+        lambda: figure9.run(rank=5, n_ratings=6000, max_iterations=5),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result.rows, title="Figure 9 - P-Tucker vs P-Tucker-Approx"))
+    for note in result.notes:
+        print(f"note: {note}")
+
+    approx_rows = [r for r in result.rows if r["algorithm"] == "P-Tucker-Approx"]
+    exact_rows = [r for r in result.rows if r["algorithm"] == "P-Tucker"]
+    # The truncated core must shrink every iteration (the source of the speed-up).
+    core_sizes = [r["core_nnz"] for r in approx_rows]
+    assert all(b <= a for a, b in zip(core_sizes, core_sizes[1:]))
+    # The approximate variant stays in the same accuracy ballpark as P-Tucker.
+    assert approx_rows[-1]["recon_error"] <= 3.0 * exact_rows[-1]["recon_error"]

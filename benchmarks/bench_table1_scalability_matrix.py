@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table I: the qualitative scalability matrix."""
+
+from repro.experiments import table1
+from repro.experiments.report import render_table
+
+
+def test_table1_scalability_matrix(benchmark):
+    """Derive the four check-marks per method from measured behaviour."""
+    result = benchmark.pedantic(
+        lambda: table1.run(dimensionality=30, nnz=2500, max_iterations=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result.rows, title="Table I - scalability matrix (derived)"))
+    for note in result.notes:
+        print(f"note: {note}")
+    by_method = {row["method"]: row for row in result.rows}
+    assert all(by_method["P-Tucker"][k] for k in ("scale", "speed", "memory", "accuracy"))

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Table III: time/memory complexity checks."""
+
+from repro.experiments import table3
+from repro.experiments.report import render_table
+
+
+def test_table3_time_scaling(benchmark):
+    """P-Tucker per-iteration time versus |Omega| (near-linear expected)."""
+    rows = benchmark.pedantic(
+        lambda: table3.time_scaling_rows(nnz_values=(1000, 2000, 4000), dimensionality=250),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Table III - P-Tucker time vs |Omega|"))
+    assert rows[-1]["sec/iter"] > rows[0]["sec/iter"]
+
+
+def test_table3_memory_model(benchmark):
+    """Measured peak intermediate memory versus the closed-form Table III model."""
+    rows = benchmark.pedantic(
+        lambda: table3.memory_model_rows(dimensionality=150, nnz=3000, rank=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Table III - measured vs model intermediate memory"))
+    measured = {row["algorithm"]: row["measured_MB"] for row in rows}
+    assert measured["P-Tucker"] <= min(v for k, v in measured.items() if k != "P-Tucker")

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table VI: relation discovery from the core tensor."""
+
+from repro.experiments import table6
+from repro.experiments.report import render_table
+
+
+def test_table6_relation_discovery(benchmark):
+    """Report the strongest core-tensor relations between movie, year and hour."""
+    result = benchmark.pedantic(
+        lambda: table6.run(rank=5, n_relations=3, n_ratings=10_000, max_iterations=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result.rows, title="Table VI - discovered relations"))
+    for note in result.notes:
+        print(f"note: {note}")
+    assert len(result.rows) == 3
+    strengths = [row["g_value"] for row in result.rows]
+    assert strengths == sorted(strengths, reverse=True)

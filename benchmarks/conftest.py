@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one figure or table of the paper at a reduced
+scale (pure-Python runs of the paper's full sizes would take hours).  The
+rows each benchmark prints are the same rows the corresponding experiment
+module produces; the pytest-benchmark timings give the per-iteration costs
+that the paper's speed figures report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PTuckerConfig
+from repro.data import generate_movielens_like, planted_tucker_tensor, random_sparse_tensor
+
+
+def pytest_collection_modifyitems(config, items):
+    """Benchmarks live outside tests/; keep ordering stable by path then name."""
+    items.sort(key=lambda item: (str(item.fspath), item.name))
+
+
+@pytest.fixture(scope="session")
+def bench_sparse_tensor():
+    """Medium random sparse tensor shared by the speed benchmarks."""
+    return random_sparse_tensor((2000, 2000, 2000), nnz=20_000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_planted_tensor():
+    """Planted low-rank tensor shared by the accuracy benchmarks."""
+    return planted_tucker_tensor(
+        shape=(60, 60, 40), ranks=(4, 4, 4), nnz=10_000, noise_level=0.02, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_movielens():
+    """MovieLens-style stand-in shared by the discovery benchmarks."""
+    return generate_movielens_like(
+        n_users=200, n_movies=100, n_years=10, n_hours=24, n_ratings=12_000, seed=3
+    )
+
+
+@pytest.fixture
+def bench_config():
+    """Default solver configuration for benchmarks (few iterations)."""
+    return PTuckerConfig(ranks=(4, 4, 4), max_iterations=2, seed=0)

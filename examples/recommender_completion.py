@@ -1,0 +1,68 @@
+"""Rating prediction: P-Tucker versus zero-filling baselines.
+
+Demonstrates the paper's central accuracy claim (Figure 11): on a partially
+observed rating tensor, a method that models only the observed entries
+(P-Tucker) predicts held-out ratings far better than HOOI-style methods that
+treat every missing cell as a zero.
+
+Run with:  python examples/recommender_completion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PTucker, PTuckerApprox, PTuckerConfig
+from repro.baselines import SHot, TuckerAls, TuckerWopt
+from repro.data import generate_movielens_like
+
+
+def main() -> None:
+    dataset = generate_movielens_like(
+        n_users=300, n_movies=120, n_years=10, n_hours=24, n_ratings=25_000, seed=5
+    )
+    rng = np.random.default_rng(1)
+    train, test = dataset.tensor.split(train_fraction=0.9, rng=rng)
+    print(f"train: {train.nnz} ratings, test: {test.nnz} ratings")
+
+    config = PTuckerConfig(ranks=(8, 8, 4, 4), max_iterations=6, seed=0)
+    contenders = [
+        ("P-Tucker", PTucker(config)),
+        ("P-Tucker-Approx", PTuckerApprox(config)),
+        ("Tucker-ALS (zero-fill)", TuckerAls(config)),
+        ("S-HOT (zero-fill)", SHot(config)),
+        ("Tucker-wOpt", TuckerWopt(config.with_updates(max_iterations=15))),
+    ]
+
+    print(f"{'method':<26} {'train error':>12} {'test RMSE':>10} {'sec/iter':>9}")
+    baseline_rmse = None
+    for name, solver in contenders:
+        result = solver.fit(train)
+        rmse = result.test_rmse(test)
+        error = result.trace.errors[-1]
+        seconds = result.trace.mean_iteration_seconds
+        print(f"{name:<26} {error:12.4f} {rmse:10.4f} {seconds:9.3f}")
+        if name == "P-Tucker":
+            baseline_rmse = rmse
+
+    # Show a handful of individual predictions from the P-Tucker model.
+    result = PTucker(config).fit(train)
+    sample = test.indices[:5]
+    predicted = result.predict(sample)
+    print("\nsample predictions (P-Tucker):")
+    for index, truth, guess in zip(sample, test.values[:5], predicted):
+        user, movie, year, hour = (int(i) for i in index)
+        print(
+            f"  user {user:3d}, movie {movie:3d}, year {year:2d}, hour {hour:2d}: "
+            f"actual {truth:.3f}, predicted {guess:.3f}"
+        )
+
+    if baseline_rmse is not None:
+        print(
+            "\nP-Tucker models only the observed ratings, so it avoids the "
+            "zero-fill bias that inflates the baselines' RMSE."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Tucker-ALS / HOOI (Algorithm 1 of the paper).
+
+The conventional higher-order orthogonal iteration: every mode update forms
+the dense matrix ``Y_(n) = (X ×_{k≠n} A^(k)T)_(n)`` — treating missing
+entries as zeros — and replaces the factor with its leading left singular
+vectors.  The intermediate ``Y_(n)`` is ``I_n × Π_{k≠n} J_k`` dense, which is
+the "intermediate data explosion" the paper's Definition 7 describes and the
+reason this baseline runs out of memory on large tensors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..metrics.memory import BYTES_PER_FLOAT, MemoryTracker
+from ..tensor.coo import SparseTensor
+from ..tensor.operations import mode_lengths_product, sparse_ttm_chain
+from .base import HooiBaseline, leading_left_singular_vectors
+
+
+class TuckerAls(HooiBaseline):
+    """Conventional Tucker-ALS (HOOI) with dense intermediates."""
+
+    name = "Tucker-ALS"
+
+    def _factor_update_matrix(
+        self,
+        tensor: SparseTensor,
+        factors: List[np.ndarray],
+        mode: int,
+        rank: int,
+        memory: Optional[MemoryTracker],
+    ) -> np.ndarray:
+        y_unfolded = sparse_ttm_chain(tensor, factors, mode)
+        return leading_left_singular_vectors(y_unfolded, None, rank)
+
+    def _intermediate_bytes(
+        self, tensor: SparseTensor, ranks: Sequence[int], mode: int
+    ) -> float:
+        """The dense Y_(n): I_n rows by Π_{k≠n} J_k columns."""
+        width = 1.0
+        for k, rank in enumerate(ranks):
+            if k != mode:
+                width *= float(rank)
+        return float(tensor.shape[mode]) * width * BYTES_PER_FLOAT

@@ -1,0 +1,195 @@
+"""Command-line interface: factorize a tensor file and inspect the result.
+
+Usage::
+
+    python -m repro factorize ratings.tns --ranks 10 10 5 5 --output model
+    python -m repro predict model.npz --index 3 17 2 14
+    python -m repro info ratings.tns
+
+``factorize`` reads a whitespace-separated ``i_1 ... i_N value`` file (the
+format of the paper's released datasets), runs the chosen algorithm, reports
+the convergence trace, and optionally stores the fitted model as ``.npz``
+files.  ``predict`` loads a stored model and evaluates Eq. (4) at the given
+index.  ``info`` prints basic statistics of a tensor file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .baselines import CpAls, SHot, TuckerAls, TuckerCsf, TuckerWopt
+from .core import PTucker, PTuckerApprox, PTuckerCache, PTuckerConfig, TuckerResult
+from .core.sampled import PTuckerSampled
+from .tensor import SparseTensor, load_text
+
+ALGORITHMS = {
+    "ptucker": PTucker,
+    "ptucker-cache": PTuckerCache,
+    "ptucker-approx": PTuckerApprox,
+    "ptucker-sampled": PTuckerSampled,
+    "tucker-als": TuckerAls,
+    "tucker-wopt": TuckerWopt,
+    "tucker-csf": TuckerCsf,
+    "s-hot": SHot,
+    "cp-als": CpAls,
+}
+
+
+def save_model(result: TuckerResult, prefix: str) -> str:
+    """Store a fitted model as ``<prefix>.npz`` and return the file name."""
+    arrays = {"core": result.core, "algorithm": np.asarray(result.algorithm)}
+    for mode, factor in enumerate(result.factors):
+        arrays[f"factor_{mode}"] = factor
+    path = f"{prefix}.npz"
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_model(path: str) -> TuckerResult:
+    """Load a model previously written by :func:`save_model`."""
+    with np.load(path, allow_pickle=False) as data:
+        core = data["core"]
+        factors: List[np.ndarray] = []
+        mode = 0
+        while f"factor_{mode}" in data:
+            factors.append(data[f"factor_{mode}"])
+            mode += 1
+        algorithm = str(data["algorithm"]) if "algorithm" in data else ""
+    return TuckerResult(core=core, factors=factors, algorithm=algorithm)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="P-Tucker: sparse Tucker factorization from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    factorize = subparsers.add_parser("factorize", help="factorize a tensor file")
+    factorize.add_argument("tensor", help="path to a 'i_1 ... i_N value' text file")
+    factorize.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="ptucker",
+        help="factorization method (default: ptucker)",
+    )
+    factorize.add_argument(
+        "--ranks", type=int, nargs="+", required=True, help="Tucker ranks, one per mode"
+    )
+    factorize.add_argument("--regularization", type=float, default=0.01)
+    factorize.add_argument("--max-iterations", type=int, default=20)
+    factorize.add_argument("--tolerance", type=float, default=1e-4)
+    factorize.add_argument("--seed", type=int, default=0)
+    factorize.add_argument(
+        "--test-fraction",
+        type=float,
+        default=0.0,
+        help="hold out this fraction of entries and report their RMSE",
+    )
+    factorize.add_argument(
+        "--zero-based",
+        action="store_true",
+        help="indices in the file start at 0 instead of 1",
+    )
+    factorize.add_argument(
+        "--output", default="", help="prefix for the stored model (.npz)"
+    )
+
+    predict = subparsers.add_parser("predict", help="predict one cell of a stored model")
+    predict.add_argument("model", help="path to a model .npz written by 'factorize'")
+    predict.add_argument(
+        "--index", type=int, nargs="+", required=True, help="0-based cell index"
+    )
+
+    info = subparsers.add_parser("info", help="print statistics of a tensor file")
+    info.add_argument("tensor", help="path to a 'i_1 ... i_N value' text file")
+    info.add_argument("--zero-based", action="store_true")
+
+    return parser
+
+
+def _command_factorize(args: argparse.Namespace) -> int:
+    tensor = load_text(args.tensor, one_based=not args.zero_based)
+    print(f"loaded {tensor}")
+    test: Optional[SparseTensor] = None
+    train = tensor
+    if args.test_fraction > 0.0:
+        train, test = tensor.split(1.0 - args.test_fraction, rng=np.random.default_rng(args.seed))
+        print(f"holding out {test.nnz} entries for testing")
+
+    config = PTuckerConfig(
+        ranks=tuple(args.ranks),
+        regularization=args.regularization,
+        max_iterations=args.max_iterations,
+        tolerance=args.tolerance,
+        seed=args.seed,
+    )
+    solver = ALGORITHMS[args.algorithm](config)
+    result = solver.fit(train)
+
+    print(result.summary())
+    for record in result.trace.records:
+        print(
+            f"  iter {record.iteration:3d}: error={record.reconstruction_error:.6g} "
+            f"({record.seconds:.3f}s)"
+        )
+    if test is not None:
+        print(f"test RMSE: {result.test_rmse(test):.6g}")
+    if args.output:
+        path = save_model(result, args.output)
+        print(f"model written to {path}")
+    return 0
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    result = load_model(args.model)
+    index = np.asarray(args.index, dtype=np.int64)
+    if index.shape[0] != result.order:
+        print(
+            f"error: model has {result.order} modes but {index.shape[0]} indices given",
+            file=sys.stderr,
+        )
+        return 2
+    value = float(result.predict(index)[0])
+    print(f"{value:.6g}")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    tensor = load_text(args.tensor, one_based=not args.zero_based)
+    print(f"shape: {tensor.shape}")
+    print(f"order: {tensor.order}")
+    print(f"observed entries: {tensor.nnz}")
+    print(f"density: {tensor.density:.3e}")
+    print(f"value range: [{tensor.values.min():.6g}, {tensor.values.max():.6g}]")
+    print(f"Frobenius norm (observed): {tensor.norm():.6g}")
+    for mode in range(tensor.order):
+        counts = tensor.counts_along_mode(mode)
+        nonempty = int(np.count_nonzero(counts))
+        print(
+            f"mode {mode}: length {tensor.shape[mode]}, non-empty slices {nonempty}, "
+            f"max entries per slice {int(counts.max())}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "factorize":
+        return _command_factorize(args)
+    if args.command == "predict":
+        return _command_predict(args)
+    if args.command == "info":
+        return _command_info(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""P-Tucker and its variants: the paper's primary contribution."""
+
+from .approx import PTuckerApprox, partial_reconstruction_errors, truncate_noisy_entries
+from .cache import PTuckerCache
+from .config import DEFAULT_CONFIG, PTuckerConfig
+from .core_tensor import (
+    SparseCore,
+    initialize_core,
+    initialize_factors,
+    least_squares_core,
+    orthogonalize,
+)
+from .ptucker import PTucker, fit_ptucker
+from .result import TuckerResult
+from .sampled import PTuckerSampled
+from .row_update import (
+    brute_force_row_update,
+    build_mode_context,
+    compute_delta_block,
+    core_unfolding,
+    update_factor_mode,
+)
+from .trace import ConvergenceTrace, IterationRecord
+
+__all__ = [
+    "PTucker",
+    "PTuckerCache",
+    "PTuckerApprox",
+    "PTuckerSampled",
+    "PTuckerConfig",
+    "DEFAULT_CONFIG",
+    "TuckerResult",
+    "ConvergenceTrace",
+    "IterationRecord",
+    "fit_ptucker",
+    "orthogonalize",
+    "initialize_core",
+    "initialize_factors",
+    "least_squares_core",
+    "SparseCore",
+    "partial_reconstruction_errors",
+    "truncate_noisy_entries",
+    "update_factor_mode",
+    "build_mode_context",
+    "compute_delta_block",
+    "core_unfolding",
+    "brute_force_row_update",
+]

@@ -1,0 +1,145 @@
+"""P-Tucker-Cache: the time-optimised variant with the Pres cache table.
+
+Algorithm 3 (lines 1-4 and 16-19) of the paper: before any factor update, the
+solver precomputes, for every pair of an observed entry α and a core entry β,
+the full product ``Pres[α][β] = G_β · Π_{k=1..N} a^(k)_{i_k j_k}``.  While
+updating mode n, the δ contribution of a pair (α, β) is then obtained as
+``Pres[α][β] / a^(n)_{i_n j_n}`` — O(1) instead of O(N) multiplications.
+After a factor matrix changes, the affected cache cells are rescaled by the
+ratio of new to old row entries.
+
+The trade-off is memory: the table is |Ω| x |G| (Theorem 6), which this
+implementation accounts for through the shared
+:class:`~repro.metrics.memory.MemoryTracker` so the Figure 8 memory
+comparison can be reproduced.  When a factor entry is exactly zero the
+division fallback of the paper applies: the δ contribution is recomputed
+directly from the core and factors for the affected entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..metrics.memory import BYTES_PER_FLOAT, MemoryTracker
+from ..tensor.coo import SparseTensor
+from ..tensor.operations import factor_rows_product
+from .config import PTuckerConfig
+from .ptucker import PTucker
+from .row_update import compute_delta_block, core_unfolding
+
+
+class PTuckerCache(PTucker):
+    """P-Tucker with the Pres memoization table (Algorithm 3, cache branch)."""
+
+    name = "P-Tucker-Cache"
+
+    def __init__(self, config: Optional[PTuckerConfig] = None) -> None:
+        super().__init__(config)
+        self._pres: Optional[np.ndarray] = None
+        self._core_flat: Optional[np.ndarray] = None
+        self._zero_tolerance = 1e-12
+
+    # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        tensor: SparseTensor,
+        factors: List[np.ndarray],
+        core: np.ndarray,
+        memory: Optional[MemoryTracker],
+    ) -> None:
+        """Precompute Pres for every (observed entry, core entry) pair."""
+        core_flat = np.asarray(core).reshape(-1)
+        weights = factor_rows_product(tensor, factors, skip=-1)
+        self._pres = weights * core_flat[None, :]
+        self._core_flat = core_flat.copy()
+        if memory is not None:
+            memory.allocate(
+                self._pres.shape[0] * self._pres.shape[1] * BYTES_PER_FLOAT,
+                "cache-table",
+            )
+
+    # ------------------------------------------------------------------
+    def _delta_provider(self, tensor: SparseTensor, factors, core, mode: int):
+        """δ from the cache: divide Pres by the mode-n factor entry, then reduce.
+
+        ``Pres[α][β] / a^(n)_{i_n j_n}`` recovers ``G_β Π_{k≠n} a^(k)``; the
+        core entries β are then reduced over their j_n groups to produce the
+        length-J_n vector δ.  Entries whose divisor is (numerically) zero are
+        recomputed with the direct product, matching the paper's note on
+        lines 12 and 19.
+        """
+        pres = self._pres
+        if pres is None:
+            return None
+        core_arr = np.asarray(core)
+        rank = core_arr.shape[mode]
+        core_unfolded = core_unfolding(core_arr, mode)
+        # Column grouping of the flattened (C-order) core by its mode-n index.
+        jn_of_column = np.indices(core_arr.shape)[mode].reshape(-1)
+        group_matrix = np.zeros((core_arr.size, rank), dtype=np.float64)
+        group_matrix[np.arange(core_arr.size), jn_of_column] = 1.0
+
+        def provider(entry_positions: np.ndarray, mode_inner: int) -> np.ndarray:
+            rows = tensor.indices[entry_positions]
+            divisors = np.asarray(factors[mode_inner])[rows[:, mode_inner]]
+            # Per (entry, core cell) divisor: the factor entry a^(n)_{i_n j_n}.
+            divisor_cells = divisors[:, jn_of_column]
+            safe = np.abs(divisor_cells) > self._zero_tolerance
+            contributions = np.zeros((rows.shape[0], core_arr.size), dtype=np.float64)
+            np.divide(
+                pres[entry_positions],
+                divisor_cells,
+                out=contributions,
+                where=safe,
+            )
+            deltas = contributions @ group_matrix
+            # Fallback: entries touching a zero factor value get the direct O(N) path.
+            needs_fallback = np.nonzero(~safe.all(axis=1))[0]
+            if needs_fallback.size:
+                deltas[needs_fallback] = compute_delta_block(
+                    rows[needs_fallback], factors, core_unfolded, mode_inner
+                )
+            return deltas
+
+        return provider
+
+    # ------------------------------------------------------------------
+    def _after_mode_update(
+        self,
+        tensor: SparseTensor,
+        factors: List[np.ndarray],
+        core: np.ndarray,
+        mode: int,
+        previous_factor: np.ndarray,
+    ) -> None:
+        """Rescale Pres by new/old factor entries (Algorithm 3 lines 16-19)."""
+        if self._pres is None:
+            return
+        core_arr = np.asarray(core)
+        jn_of_column = np.indices(core_arr.shape)[mode].reshape(-1)
+        mode_rows = tensor.indices[:, mode]
+        old_cells = previous_factor[mode_rows][:, jn_of_column]
+        new_cells = np.asarray(factors[mode])[mode_rows][:, jn_of_column]
+        safe = np.abs(old_cells) > self._zero_tolerance
+        ratio = np.ones_like(old_cells)
+        np.divide(new_cells, old_cells, out=ratio, where=safe)
+        self._pres *= ratio
+        # Cells whose old value was zero cannot be rescaled; rebuild them exactly.
+        stale_entries = np.nonzero(~safe.all(axis=1))[0]
+        if stale_entries.size:
+            weights = factor_rows_product(
+                tensor, factors, skip=-1, entry_rows=stale_entries
+            )
+            self._pres[stale_entries] = weights * core_arr.reshape(-1)[None, :]
+
+    # ------------------------------------------------------------------
+    def _after_iteration(
+        self,
+        tensor: SparseTensor,
+        factors: List[np.ndarray],
+        core: np.ndarray,
+        iteration: int,
+    ) -> np.ndarray:
+        return core

@@ -1,0 +1,100 @@
+"""Configuration objects for the P-Tucker solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from ..exceptions import ShapeError
+
+
+@dataclass(frozen=True)
+class PTuckerConfig:
+    """Hyper-parameters of a P-Tucker run.
+
+    Attributes
+    ----------
+    ranks:
+        Tucker ranks ``(J_1, ..., J_N)``.  A single integer is broadcast to
+        every mode by the solver.
+    regularization:
+        L2 penalty λ of Eq. (6).  The paper's default is 0.01.
+    max_iterations:
+        Upper bound on ALS iterations (paper default: 20).
+    tolerance:
+        Relative-change threshold on the reconstruction error used to declare
+        convergence.
+    threads:
+        Number of worker threads T modelled by the parallel scheduler; the
+        paper's default machine uses 20.
+    scheduling:
+        ``"dynamic"`` (paper default for factor updates) or ``"static"``.
+    truncation_rate:
+        Fraction p of core entries removed per iteration by
+        P-Tucker-Approx (paper default: 0.2).  Ignored by the other variants.
+    orthogonalize:
+        Whether to run the final QR orthogonalisation + core update
+        (Algorithm 2 lines 8-11).
+    seed:
+        Seed for the random initialisation of factors and core.
+    min_iterations:
+        Run at least this many iterations before convergence can trigger.
+    track_memory:
+        Record intermediate-data allocations through a
+        :class:`~repro.metrics.memory.MemoryTracker`.
+    memory_budget_bytes:
+        Optional intermediate-data budget; exceeding it raises
+        :class:`~repro.exceptions.OutOfMemoryError` (used to reproduce the
+        paper's O.O.M. results).
+    """
+
+    ranks: Tuple[int, ...] = (10,)
+    regularization: float = 0.01
+    max_iterations: int = 20
+    tolerance: float = 1e-4
+    threads: int = 1
+    scheduling: str = "dynamic"
+    truncation_rate: float = 0.2
+    orthogonalize: bool = True
+    seed: Optional[int] = 0
+    min_iterations: int = 1
+    track_memory: bool = True
+    memory_budget_bytes: Optional[int] = None
+    block_size: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.regularization < 0:
+            raise ShapeError("regularization must be non-negative")
+        if self.max_iterations < 1:
+            raise ShapeError("max_iterations must be at least 1")
+        if self.min_iterations < 1 or self.min_iterations > self.max_iterations:
+            raise ShapeError("min_iterations must be in [1, max_iterations]")
+        if self.tolerance < 0:
+            raise ShapeError("tolerance must be non-negative")
+        if self.threads < 1:
+            raise ShapeError("threads must be at least 1")
+        if self.scheduling not in ("static", "dynamic"):
+            raise ShapeError("scheduling must be 'static' or 'dynamic'")
+        if not 0.0 < self.truncation_rate < 1.0:
+            raise ShapeError("truncation_rate must be in (0, 1)")
+        if self.block_size < 1:
+            raise ShapeError("block_size must be positive")
+
+    def resolve_ranks(self, order: int) -> Tuple[int, ...]:
+        """Broadcast a single rank to every mode and validate the count."""
+        ranks = tuple(int(r) for r in self.ranks)
+        if len(ranks) == 1:
+            ranks = ranks * order
+        if len(ranks) != order:
+            raise ShapeError(
+                f"got {len(ranks)} ranks for an order-{order} tensor; provide one "
+                "rank or one per mode"
+            )
+        return ranks
+
+    def with_updates(self, **changes) -> "PTuckerConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+
+DEFAULT_CONFIG = PTuckerConfig()

@@ -1,0 +1,109 @@
+"""Core-tensor utilities: initialisation, the closed-form core update,
+QR-based orthogonalisation (Algorithm 2 lines 8-11), and a sparse view of the
+core used by P-Tucker-Approx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..tensor.coo import SparseTensor
+from ..tensor.dense import mode_product
+from ..tensor.operations import factor_rows_product
+
+
+def initialize_factors(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Random factor matrices with entries in [0, 1) (Algorithm 2 line 1)."""
+    if len(shape) != len(ranks):
+        raise ShapeError("need one rank per mode")
+    return [rng.uniform(0.0, 1.0, size=(dim, rank)) for dim, rank in zip(shape, ranks)]
+
+
+def initialize_core(ranks: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Random core tensor with entries in [0, 1) (Algorithm 2 line 1)."""
+    return rng.uniform(0.0, 1.0, size=tuple(int(r) for r in ranks))
+
+
+def orthogonalize(
+    factors: Sequence[np.ndarray], core: np.ndarray
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """QR-orthogonalise every factor and push the R factors into the core.
+
+    Implements Eq. (7) and Eq. (8): ``A^(n) = Q^(n) R^(n)`` with ``Q`` kept as
+    the new factor and the core updated as ``G ← G ×_n R^(n)`` so the
+    reconstruction — and therefore the reconstruction error — is unchanged.
+    """
+    new_factors: List[np.ndarray] = []
+    new_core = np.asarray(core, dtype=np.float64).copy()
+    for mode, factor in enumerate(factors):
+        q_matrix, r_matrix = np.linalg.qr(np.asarray(factor, dtype=np.float64))
+        new_factors.append(q_matrix)
+        new_core = mode_product(new_core, r_matrix, mode)
+    return new_factors, new_core
+
+
+def least_squares_core(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    regularization: float = 1e-9,
+) -> np.ndarray:
+    """Fit the core tensor to the observed entries with the factors fixed.
+
+    The model value at an observed entry is linear in the core entries with
+    per-entry weights ``Π_k a^(k)_{i_k j_k}`` (the rows produced by
+    :func:`factor_rows_product` with ``skip=-1``), so the optimal core is a
+    ridge-regularised linear least-squares solve.  The paper fits the core
+    implicitly through the factor updates; this explicit solve is used when a
+    fresh core is needed for fixed factors (e.g. after orthogonalisation of a
+    baseline's output or in tests).
+    """
+    ranks = tuple(int(np.asarray(f).shape[1]) for f in factors)
+    design = factor_rows_product(tensor, list(factors), skip=-1)
+    gram = design.T @ design + regularization * np.eye(design.shape[1])
+    rhs = design.T @ tensor.values
+    core_flat = np.linalg.solve(gram, rhs)
+    return core_flat.reshape(ranks)
+
+
+@dataclass
+class SparseCore:
+    """Sparse representation of the core tensor used by P-Tucker-Approx.
+
+    Only the surviving (index, value) pairs are stored once entries start
+    being truncated, so the per-iteration cost of the δ computation scales
+    with the number of *remaining* core entries |G| (Theorem 7).
+    """
+
+    shape: Tuple[int, ...]
+    indices: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_dense(cls, core: np.ndarray) -> "SparseCore":
+        core = np.asarray(core, dtype=np.float64)
+        idx = np.argwhere(core != 0.0)
+        return cls(shape=core.shape, indices=idx, values=core[tuple(idx.T)] if idx.size else np.empty(0))
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        if self.indices.size:
+            dense[tuple(self.indices.T)] = self.values
+        return dense
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    def drop(self, positions: np.ndarray) -> "SparseCore":
+        """Return a copy without the entries at the given positions."""
+        keep = np.ones(self.nnz, dtype=bool)
+        keep[np.asarray(positions, dtype=np.int64)] = False
+        return SparseCore(self.shape, self.indices[keep], self.values[keep])

@@ -1,0 +1,273 @@
+"""The row-wise update kernel of P-Tucker (Eqs. 9-12, Algorithm 3 lines 5-15).
+
+For a mode ``n`` and every observed entry α = (i_1, ..., i_N), the kernel
+computes the length-J_n vector
+
+    δ_α[j] = Σ_{β ∈ G, j_n = j} G_β · Π_{k ≠ n} a^(k)_{i_k j_k}
+
+and then, for every row index ``i_n``, the normal-equation pieces
+
+    B_{i_n} = Σ_{α ∈ Ω^{(n)}_{i_n}} δ_α δ_αᵀ        (Eq. 10)
+    c_{i_n} = Σ_{α ∈ Ω^{(n)}_{i_n}} X_α δ_α          (Eq. 11)
+
+and the new row  a^{(n)}_{i_n,:} = c_{i_n} (B_{i_n} + λ I)^{-1}   (Eq. 9).
+
+The paper's C implementation walks the entries of Ω row by row inside an
+OpenMP loop; here the same computation is expressed with NumPy batch
+operations: δ for all entries of a mode is a single GEMM against the mode-n
+unfolding of the core, the per-row reductions use index-sorted segment sums,
+and the per-row solves are one batched ``numpy.linalg.solve``.  The result is
+numerically identical to the paper's update (tests compare it against a
+brute-force per-row least-squares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.memory import BYTES_PER_FLOAT, MemoryTracker
+from ..tensor.coo import SparseTensor
+
+
+@dataclass
+class ModeContext:
+    """Entry ordering and row segmentation of one mode, reused across iterations.
+
+    Attributes
+    ----------
+    mode:
+        The mode index n.
+    perm:
+        Permutation that sorts observed entries by their mode-n index.
+    sorted_indices / sorted_values:
+        The tensor's entries in that order.
+    row_ids:
+        The distinct mode-n indices that actually have observed entries
+        (rows with an empty Ω^{(n)}_{i_n} keep their current factor values,
+        exactly like the paper's implementation which never visits them).
+    row_starts:
+        Start offset of each row's segment inside the sorted entry arrays.
+    row_counts:
+        |Ω^{(n)}_{i_n}| per listed row.
+    """
+
+    mode: int
+    perm: np.ndarray
+    sorted_indices: np.ndarray
+    sorted_values: np.ndarray
+    row_ids: np.ndarray
+    row_starts: np.ndarray
+    row_counts: np.ndarray
+
+
+def build_mode_context(tensor: SparseTensor, mode: int) -> ModeContext:
+    """Precompute the per-mode entry ordering and row segments."""
+    perm = tensor.sort_by_mode(mode)
+    sorted_indices = tensor.indices[perm]
+    sorted_values = tensor.values[perm]
+    mode_column = sorted_indices[:, mode]
+    row_ids, row_starts, row_counts = np.unique(
+        mode_column, return_index=True, return_counts=True
+    )
+    return ModeContext(
+        mode=mode,
+        perm=perm,
+        sorted_indices=sorted_indices,
+        sorted_values=sorted_values,
+        row_ids=row_ids.astype(np.int64),
+        row_starts=row_starts.astype(np.int64),
+        row_counts=row_counts.astype(np.int64),
+    )
+
+
+def build_all_mode_contexts(tensor: SparseTensor) -> List[ModeContext]:
+    """Contexts for every mode of the tensor."""
+    return [build_mode_context(tensor, mode) for mode in range(tensor.order)]
+
+
+def core_unfolding(core: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding of the core in C order over the other modes.
+
+    Row ``j`` holds the core entries with ``j_mode = j``; columns run over the
+    remaining modes with the *last* mode varying fastest, matching the
+    ordering produced by :func:`compute_delta_block`'s running Kronecker
+    product.
+    """
+    core = np.asarray(core)
+    order = core.ndim
+    other = [k for k in range(order) if k != mode]
+    return np.transpose(core, [mode] + other).reshape(core.shape[mode], -1)
+
+
+def compute_delta_block(
+    indices_block: np.ndarray,
+    factors: Sequence[np.ndarray],
+    core_unfolded: np.ndarray,
+    mode: int,
+) -> np.ndarray:
+    """δ vectors (Eq. 12) for a block of observed entries.
+
+    ``indices_block`` has shape ``(m, N)``; the result has shape
+    ``(m, J_mode)``.  The running element-wise product over modes ``k ≠ mode``
+    builds, per entry, the Kronecker product of the other factor rows; a
+    single matrix product against the unfolded core then yields δ.
+    """
+    n_entries = indices_block.shape[0]
+    order = indices_block.shape[1]
+    weights = np.ones((n_entries, 1), dtype=np.float64)
+    for k in range(order):
+        if k == mode:
+            continue
+        rows = np.asarray(factors[k])[indices_block[:, k]]
+        weights = (weights[:, :, None] * rows[:, None, :]).reshape(n_entries, -1)
+    return weights @ core_unfolded.T
+
+
+def accumulate_normal_equations(
+    deltas: np.ndarray,
+    values: np.ndarray,
+    segment_of_entry: np.ndarray,
+    n_segments: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row B (Eq. 10) and c (Eq. 11) from per-entry δ vectors.
+
+    ``segment_of_entry[e]`` maps entry ``e`` to its row's position in the
+    mode context's ``row_ids``; the returned arrays are stacked per row:
+    ``B`` has shape ``(n_segments, J, J)`` and ``c`` shape ``(n_segments, J)``.
+    """
+    rank = deltas.shape[1]
+    outer = deltas[:, :, None] * deltas[:, None, :]
+    b_matrices = np.zeros((n_segments, rank, rank), dtype=np.float64)
+    np.add.at(b_matrices, segment_of_entry, outer)
+    c_vectors = np.zeros((n_segments, rank), dtype=np.float64)
+    np.add.at(c_vectors, segment_of_entry, values[:, None] * deltas)
+    return b_matrices, c_vectors
+
+
+def solve_rows(
+    b_matrices: np.ndarray, c_vectors: np.ndarray, regularization: float
+) -> np.ndarray:
+    """Solve ``(B + λ I) aᵀ = c`` for every row at once (Eq. 9).
+
+    ``B + λI`` is symmetric positive definite for λ > 0 (B is a Gram matrix),
+    so the batched solve is well posed; a tiny ridge is added in the λ = 0
+    corner case to keep the solve finite when a row is rank deficient.
+    """
+    n_rows, rank, _ = b_matrices.shape
+    ridge = regularization if regularization > 0 else 1e-12
+    systems = b_matrices + ridge * np.eye(rank)[None, :, :]
+    try:
+        solutions = np.linalg.solve(systems, c_vectors[:, :, None])
+    except np.linalg.LinAlgError:
+        solutions = np.empty((n_rows, rank, 1))
+        for row in range(n_rows):
+            solutions[row, :, 0] = np.linalg.lstsq(
+                systems[row], c_vectors[row], rcond=None
+            )[0]
+    return solutions[:, :, 0]
+
+
+def update_factor_mode(
+    tensor: SparseTensor,
+    factors: List[np.ndarray],
+    core: np.ndarray,
+    mode: int,
+    regularization: float,
+    context: Optional[ModeContext] = None,
+    block_size: int = 200_000,
+    memory: Optional[MemoryTracker] = None,
+    delta_provider=None,
+) -> np.ndarray:
+    """Update every row of factor matrix ``A^(mode)`` in place and return it.
+
+    ``delta_provider`` allows the cache variant to substitute its own δ
+    computation: it is called as ``delta_provider(entry_positions, mode)``
+    where ``entry_positions`` are positions into the tensor's original entry
+    ordering, and must return the ``(m, J_mode)`` δ block.  When omitted the
+    deltas are computed from the core and factor matrices directly
+    (the default P-Tucker path).
+    """
+    ctx = context if context is not None else build_mode_context(tensor, mode)
+    factor = factors[mode]
+    rank = factor.shape[1]
+    core_unfolded = core_unfolding(core, mode)
+
+    n_listed_rows = ctx.row_ids.shape[0]
+    if n_listed_rows == 0:
+        return factor
+
+    # Map every sorted entry to the position of its row in ctx.row_ids.
+    segment_of_entry = np.repeat(np.arange(n_listed_rows), ctx.row_counts)
+
+    b_matrices = np.zeros((n_listed_rows, rank, rank), dtype=np.float64)
+    c_vectors = np.zeros((n_listed_rows, rank), dtype=np.float64)
+
+    if memory is not None:
+        # Per-thread workspace of the paper: B, its inverse, c and δ (Theorem 4).
+        memory.allocate((2 * rank * rank + 2 * rank) * BYTES_PER_FLOAT, "row-update")
+
+    n_entries = ctx.sorted_indices.shape[0]
+    for start in range(0, n_entries, block_size):
+        stop = min(start + block_size, n_entries)
+        block_slice = slice(start, stop)
+        if delta_provider is not None:
+            deltas = delta_provider(ctx.perm[block_slice], mode)
+        else:
+            deltas = compute_delta_block(
+                ctx.sorted_indices[block_slice], factors, core_unfolded, mode
+            )
+        partial_b, partial_c = accumulate_normal_equations(
+            deltas,
+            ctx.sorted_values[block_slice],
+            segment_of_entry[block_slice],
+            n_listed_rows,
+        )
+        b_matrices += partial_b
+        c_vectors += partial_c
+
+    new_rows = solve_rows(b_matrices, c_vectors, regularization)
+    factor[ctx.row_ids] = new_rows
+
+    if memory is not None:
+        memory.release((2 * rank * rank + 2 * rank) * BYTES_PER_FLOAT, "row-update")
+    return factor
+
+
+def brute_force_row_update(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    mode: int,
+    row: int,
+    regularization: float,
+) -> np.ndarray:
+    """Reference implementation of Eq. (9) for a single row (tests only).
+
+    Walks the observed entries of Ω^{(mode)}_{row} one by one, builds δ, B and
+    c exactly as written in the paper, and solves the J×J system.  Slow but
+    transparently faithful to Algorithm 3; the vectorised kernel is checked
+    against it.
+    """
+    rank = np.asarray(core).shape[mode]
+    b_matrix = np.zeros((rank, rank))
+    c_vector = np.zeros(rank)
+    core_arr = np.asarray(core)
+    for entry_idx in range(tensor.nnz):
+        index = tensor.indices[entry_idx]
+        if index[mode] != row:
+            continue
+        delta = np.zeros(rank)
+        for beta in np.ndindex(*core_arr.shape):
+            weight = core_arr[beta]
+            for k in range(tensor.order):
+                if k == mode:
+                    continue
+                weight *= factors[k][index[k], beta[k]]
+            delta[beta[mode]] += weight
+        b_matrix += np.outer(delta, delta)
+        c_vector += tensor.values[entry_idx] * delta
+    system = b_matrix + regularization * np.eye(rank)
+    return np.linalg.solve(system, c_vector)

@@ -1,0 +1,162 @@
+"""P-Tucker-Sampled: entry-sampling acceleration (the paper's future work).
+
+The conclusion of the paper lists "applying sampling techniques on observable
+entries to accelerate decompositions, while sacrificing little accuracy" as
+future work.  This module implements that extension on top of the P-Tucker
+row-wise update: each iteration draws a random subset of the observed entries
+and updates the factor matrices from the subset only, while the
+reconstruction error — and therefore the convergence decision — is still
+measured on the full Ω.
+
+Because the per-iteration cost of P-Tucker is dominated by the O(N²|Ω|Jᴺ)
+δ computation, sampling a fraction ``s`` of the entries reduces the
+factor-update cost by roughly ``1/s`` at the price of noisier updates.  The
+ablation benchmark ``benchmarks/bench_ablation_sampling.py`` measures that
+trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..metrics.memory import MemoryTracker
+from ..tensor.coo import SparseTensor
+from .config import PTuckerConfig
+from .ptucker import PTucker
+from .row_update import build_all_mode_contexts
+
+
+class PTuckerSampled(PTucker):
+    """P-Tucker whose factor updates use a random sample of the observed entries.
+
+    Parameters
+    ----------
+    config:
+        Standard :class:`PTuckerConfig`.
+    sample_fraction:
+        Fraction of Ω used for the factor updates each iteration (0 < s <= 1).
+        ``1.0`` makes the solver identical to plain P-Tucker.
+    resample_each_iteration:
+        Draw a fresh sample every iteration (default) or reuse one fixed
+        sample for the whole run.
+    """
+
+    name = "P-Tucker-Sampled"
+
+    def __init__(
+        self,
+        config: Optional[PTuckerConfig] = None,
+        sample_fraction: float = 0.5,
+        resample_each_iteration: bool = True,
+    ) -> None:
+        super().__init__(config)
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ShapeError("sample_fraction must be in (0, 1]")
+        self.sample_fraction = float(sample_fraction)
+        self.resample_each_iteration = bool(resample_each_iteration)
+        self._full_tensor: Optional[SparseTensor] = None
+        self._sample_rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------
+    def _draw_sample(self, tensor: SparseTensor) -> SparseTensor:
+        """Random subset of the observed entries used for the next update pass."""
+        assert self._sample_rng is not None
+        n_keep = max(1, int(round(self.sample_fraction * tensor.nnz)))
+        if n_keep >= tensor.nnz:
+            return tensor
+        rows = self._sample_rng.choice(tensor.nnz, size=n_keep, replace=False)
+        return SparseTensor(tensor.indices[rows], tensor.values[rows], tensor.shape)
+
+    # ------------------------------------------------------------------
+    def fit(self, tensor: SparseTensor) -> "TuckerResult":  # noqa: F821 - see result module
+        """Factorize ``tensor``; updates use samples, errors use all of Ω."""
+        # With no sampling the behaviour (and the code path) is exactly P-Tucker.
+        if self.sample_fraction >= 1.0:
+            return super().fit(tensor)
+
+        from ..metrics.errors import reconstruction_error, regularized_loss
+        from ..metrics.timing import IterationTimer
+        from ..parallel.scheduler import RowScheduler
+        from .core_tensor import initialize_core, initialize_factors, orthogonalize
+        from .result import TuckerResult
+        from .row_update import update_factor_mode
+        from .trace import ConvergenceTrace, IterationRecord
+
+        config = self.config
+        ranks = config.resolve_ranks(tensor.order)
+        rng = np.random.default_rng(config.seed)
+        self._sample_rng = np.random.default_rng(
+            None if config.seed is None else config.seed + 1
+        )
+
+        factors = initialize_factors(tensor.shape, ranks, rng)
+        core = initialize_core(ranks, rng)
+        memory = (
+            MemoryTracker(budget_bytes=config.memory_budget_bytes)
+            if config.track_memory
+            else None
+        )
+        scheduler = RowScheduler(n_threads=config.threads, scheduling=config.scheduling)
+        trace = ConvergenceTrace()
+        timer = IterationTimer()
+
+        sample = self._draw_sample(tensor)
+        sample_contexts = build_all_mode_contexts(sample)
+
+        for iteration in range(1, config.max_iterations + 1):
+            with timer.iteration():
+                if self.resample_each_iteration and iteration > 1:
+                    sample = self._draw_sample(tensor)
+                    sample_contexts = build_all_mode_contexts(sample)
+                for mode in range(tensor.order):
+                    update_factor_mode(
+                        sample,
+                        factors,
+                        core,
+                        mode,
+                        config.regularization,
+                        context=sample_contexts[mode],
+                        block_size=config.block_size,
+                        memory=memory,
+                    )
+                    scheduler.record_mode(sample_contexts[mode].row_counts)
+                error = reconstruction_error(tensor, core, factors)
+                loss = regularized_loss(tensor, core, factors, config.regularization)
+
+            trace.add(
+                IterationRecord(
+                    iteration=iteration,
+                    reconstruction_error=error,
+                    loss=loss,
+                    seconds=timer.seconds[-1],
+                    core_nnz=int(np.count_nonzero(core)),
+                )
+            )
+            if (
+                iteration >= config.min_iterations
+                and trace.relative_change() < config.tolerance
+            ):
+                trace.converged = True
+                trace.stop_reason = (
+                    f"relative error change below tolerance {config.tolerance}"
+                )
+                break
+        else:
+            trace.stop_reason = f"reached max_iterations={config.max_iterations}"
+
+        if config.orthogonalize:
+            factors, core = orthogonalize(factors, core)
+
+        result = TuckerResult(
+            core=core,
+            factors=list(factors),
+            trace=trace,
+            memory=memory,
+            algorithm=self.name,
+        )
+        result.scheduler = scheduler  # type: ignore[attr-defined]
+        result.sample_fraction = self.sample_fraction  # type: ignore[attr-defined]
+        return result

@@ -1,0 +1,35 @@
+"""Synthetic dataset generators and experiment workloads."""
+
+from .movielens import MovieLensLike, generate_movielens_like, movie_titles
+from .synthetic import (
+    PlantedTensor,
+    block_structured_tensor,
+    planted_tucker_tensor,
+    random_sparse_tensor,
+)
+from .workloads import (
+    Sweep,
+    Workload,
+    dimensionality_sweep,
+    nnz_sweep,
+    order_sweep,
+    rank_sweep,
+    realworld_standins,
+)
+
+__all__ = [
+    "MovieLensLike",
+    "generate_movielens_like",
+    "movie_titles",
+    "PlantedTensor",
+    "planted_tucker_tensor",
+    "random_sparse_tensor",
+    "block_structured_tensor",
+    "Workload",
+    "Sweep",
+    "order_sweep",
+    "dimensionality_sweep",
+    "nnz_sweep",
+    "rank_sweep",
+    "realworld_standins",
+]

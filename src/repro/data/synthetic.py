@@ -1,0 +1,165 @@
+"""Synthetic sparse-tensor generators used throughout the experiments.
+
+The paper's scalability study (Figure 6) runs on random tensors whose order,
+dimensionality, number of observed entries and rank are swept one at a time.
+Its accuracy study needs tensors with *planted* low-rank Tucker structure so
+that test RMSE is meaningful.  Both kinds are generated here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..tensor.coo import SparseTensor
+from ..tensor.operations import sparse_reconstruct
+from ..tensor.validation import check_ranks, check_shape
+
+
+def _default_rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_indices(
+    shape: Sequence[int], nnz: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``nnz`` distinct multi-indices uniformly from the tensor grid.
+
+    For tensors whose cell count comfortably exceeds ``nnz`` the draw uses
+    rejection-free sampling of linear indices without replacement; otherwise
+    it falls back to sampling with replacement followed by deduplication and
+    top-up, which terminates because nnz never exceeds the cell count.
+    """
+    shape = check_shape(shape)
+    n_cells = int(np.prod(np.asarray(shape, dtype=np.float64)))
+    if nnz > n_cells:
+        raise ShapeError(
+            f"cannot place {nnz} distinct observed entries in a tensor with "
+            f"{n_cells} cells"
+        )
+    if n_cells <= 10_000_000:
+        linear = rng.choice(n_cells, size=nnz, replace=False)
+        return np.stack(np.unravel_index(linear, shape), axis=1).astype(np.int64)
+    # Sparse regime: collisions are rare, so draw with replacement and patch.
+    chosen = set()
+    out = np.empty((nnz, len(shape)), dtype=np.int64)
+    filled = 0
+    while filled < nnz:
+        batch = nnz - filled
+        draws = np.stack(
+            [rng.integers(0, dim, size=batch) for dim in shape], axis=1
+        )
+        for row in draws:
+            key = tuple(int(v) for v in row)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            out[filled] = row
+            filled += 1
+            if filled == nnz:
+                break
+    return out
+
+
+def random_sparse_tensor(
+    shape: Sequence[int],
+    nnz: int,
+    seed: Optional[int] = None,
+    value_low: float = 0.0,
+    value_high: float = 1.0,
+) -> SparseTensor:
+    """Random sparse tensor with uniform values in ``[value_low, value_high)``.
+
+    This reproduces the synthetic tensors of Section IV-B1: "random tensors
+    ... with real-valued entries between 0 and 1".
+    """
+    rng = _default_rng(seed)
+    indices = random_indices(shape, nnz, rng)
+    values = rng.uniform(value_low, value_high, size=nnz)
+    return SparseTensor(indices, values, shape)
+
+
+@dataclass(frozen=True)
+class PlantedTensor:
+    """A sparse tensor with known Tucker structure.
+
+    Attributes
+    ----------
+    tensor:
+        The observed (possibly noisy) sparse tensor.
+    core:
+        Ground-truth core tensor.
+    factors:
+        Ground-truth factor matrices.
+    noise_level:
+        Standard deviation of the additive Gaussian noise.
+    """
+
+    tensor: SparseTensor
+    core: np.ndarray
+    factors: Tuple[np.ndarray, ...]
+    noise_level: float
+
+
+def planted_tucker_tensor(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    nnz: int,
+    noise_level: float = 0.0,
+    seed: Optional[int] = None,
+    factor_scale: float = 1.0,
+) -> PlantedTensor:
+    """Sparse tensor sampled from a ground-truth Tucker model plus noise.
+
+    Observed values are ``(G ×_1 A^(1) ... ×_N A^(N))_α + ε`` at ``nnz``
+    uniformly chosen positions, with ``ε ~ N(0, noise_level²)``.  The planted
+    core and factors are returned so tests can verify recovery quality.
+    """
+    shape = check_shape(shape)
+    ranks = check_ranks(ranks, shape)
+    rng = _default_rng(seed)
+    factors = tuple(
+        rng.uniform(0.0, factor_scale, size=(dim, rank))
+        for dim, rank in zip(shape, ranks)
+    )
+    core = rng.uniform(0.0, 1.0, size=ranks)
+    indices = random_indices(shape, nnz, rng)
+    pattern = SparseTensor(indices, np.zeros(nnz), shape)
+    clean = sparse_reconstruct(pattern, core, list(factors))
+    noise = rng.normal(0.0, noise_level, size=nnz) if noise_level > 0 else 0.0
+    tensor = SparseTensor(indices, clean + noise, shape)
+    return PlantedTensor(tensor=tensor, core=core, factors=factors, noise_level=noise_level)
+
+
+def block_structured_tensor(
+    shape: Sequence[int],
+    n_blocks: int,
+    nnz: int,
+    within_block_value: float = 1.0,
+    noise_level: float = 0.05,
+    seed: Optional[int] = None,
+) -> Tuple[SparseTensor, Tuple[np.ndarray, ...]]:
+    """Sparse tensor with co-clustered block structure.
+
+    Every mode's indices are partitioned into ``n_blocks`` groups; entries
+    whose indices all fall into the same group carry a high value, others a
+    low one.  The per-mode group assignments are returned so the discovery
+    tests (K-means on factor rows, Table V) can check that clusters align
+    with the planted groups.
+    """
+    shape = check_shape(shape)
+    if n_blocks <= 0:
+        raise ShapeError("n_blocks must be positive")
+    rng = _default_rng(seed)
+    assignments = tuple(rng.integers(0, n_blocks, size=dim) for dim in shape)
+    indices = random_indices(shape, nnz, rng)
+    groups = np.stack(
+        [assignments[m][indices[:, m]] for m in range(len(shape))], axis=1
+    )
+    same_block = np.all(groups == groups[:, :1], axis=1)
+    values = np.where(same_block, within_block_value, 0.1 * within_block_value)
+    values = values + rng.normal(0.0, noise_level, size=nnz)
+    return SparseTensor(indices, values, shape), assignments

@@ -1,0 +1,18 @@
+"""Concept and relation discovery on Tucker factorization results."""
+
+from .concepts import Concept, ConceptDiscovery, concept_alignment, discover_concepts
+from .kmeans import KMeansResult, cluster_purity, kmeans
+from .relations import Relation, discover_relations, relation_table
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "cluster_purity",
+    "Concept",
+    "ConceptDiscovery",
+    "discover_concepts",
+    "concept_alignment",
+    "Relation",
+    "discover_relations",
+    "relation_table",
+]

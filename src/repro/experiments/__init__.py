@@ -1,0 +1,57 @@
+"""Experiment modules regenerating every figure and table of the evaluation."""
+
+from . import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table3,
+    table5,
+    table6,
+)
+from .harness import (
+    ALGORITHM_REGISTRY,
+    PAPER_COMPETITORS,
+    ExperimentResult,
+    RunOutcome,
+    make_solver,
+    run_algorithm,
+    run_algorithms,
+)
+from .report import render_table, summarize_speedups
+from .summary import accuracy_summary, headline, speedup_summary
+
+#: mapping from experiment name to its module (each has a ``run()`` function)
+EXPERIMENTS = {
+    "table1": table1,
+    "table3": table3,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "table5": table5,
+    "table6": table6,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ALGORITHM_REGISTRY",
+    "PAPER_COMPETITORS",
+    "ExperimentResult",
+    "RunOutcome",
+    "make_solver",
+    "run_algorithm",
+    "run_algorithms",
+    "render_table",
+    "summarize_speedups",
+    "speedup_summary",
+    "accuracy_summary",
+    "headline",
+]

@@ -1,0 +1,46 @@
+"""Command-line entry point: ``python -m repro.experiments <name> [...names]``.
+
+Runs the requested experiments (or all of them with ``all``) and prints the
+resulting tables.  Every experiment accepts only its defaults here; for
+parameter sweeps use the modules' ``run()`` functions directly or the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from . import EXPERIMENTS
+from .report import render_table
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables as text tables.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        result = EXPERIMENTS[name].run()
+        print(render_table(result.rows, title=f"== {name} =="))
+        for note in result.notes:
+            print(f"note: {note}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Figure 11: accuracy on the real-world tensors.
+
+Two panels: reconstruction error (Eq. 5) on the training entries and test
+RMSE on a held-out 10 % of the observed entries, for P-Tucker and the
+competitors on the four real-world tensors.  Zero-filling HOOI methods
+(Tucker-CSF, S-HOT) should show markedly higher error on the rating tensors
+because they fit the unobserved cells to zero; Tucker-wOpt is accurate where
+it fits in memory.  This experiment runs the comparison on the scaled-down
+stand-ins and reports both metrics per (dataset, method).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core import PTuckerConfig
+from ..data.workloads import realworld_standins
+from .harness import ExperimentResult, run_algorithms
+
+FIGURE11_METHODS = ("P-Tucker", "Tucker-wOpt", "Tucker-CSF", "S-HOT")
+
+
+def run(
+    methods: Sequence[str] = FIGURE11_METHODS,
+    scale: float = 0.25,
+    max_iterations: int = 4,
+    budget_mb: float = 256.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the reconstruction-error and test-RMSE comparison of Figure 11."""
+    datasets = realworld_standins(scale=scale, seed=seed)
+    rng = np.random.default_rng(seed)
+    experiment = ExperimentResult(name="figure11")
+    for dataset_name, (tensor, ranks) in datasets.items():
+        train, test = tensor.split(0.9, rng=rng)
+        config = PTuckerConfig(
+            ranks=ranks,
+            max_iterations=max_iterations,
+            seed=seed,
+            memory_budget_bytes=int(budget_mb * 1024 * 1024),
+        )
+        outcomes = run_algorithms(methods, train, config, test)
+        for outcome in outcomes:
+            experiment.rows.append(
+                {
+                    "dataset": dataset_name,
+                    "algorithm": outcome.algorithm,
+                    "recon_error": outcome.reconstruction_error,
+                    "test_rmse": outcome.test_rmse,
+                    "oom": outcome.out_of_memory,
+                }
+            )
+    experiment.add_note(
+        "Expected shape (paper): P-Tucker has the lowest reconstruction error and "
+        "test RMSE on every dataset; zero-filling methods are 1.4-4.8x worse."
+    )
+    return experiment

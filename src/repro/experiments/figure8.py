@@ -1,0 +1,52 @@
+"""Figure 8: P-Tucker versus P-Tucker-Cache (time and memory vs tensor order).
+
+The cache variant trades memory (the |Ω| x |G| table Pres) for speed (O(1)
+instead of O(N) work per (entry, core entry) pair).  The paper sweeps the
+tensor order from 6 to 10 with I = 100, |Ω| = 10³, J = 3 and reports
+(a) running time per iteration and (b) required memory for both variants.
+This experiment runs the same sweep (with a slightly smaller default order
+range so a pure-Python run stays quick) and reports both quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import PTuckerConfig
+from ..data.synthetic import random_sparse_tensor
+from .harness import ExperimentResult, run_algorithm
+
+
+def run(
+    orders: Sequence[int] = (4, 5, 6, 7),
+    dimensionality: int = 50,
+    nnz: int = 800,
+    rank: int = 3,
+    max_iterations: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the time/memory trade-off curves of Figure 8."""
+    experiment = ExperimentResult(name="figure8")
+    for order in orders:
+        tensor = random_sparse_tensor(
+            (dimensionality,) * order, nnz, seed=seed + order
+        )
+        config = PTuckerConfig(
+            ranks=(rank,) * order, max_iterations=max_iterations, seed=seed
+        )
+        for algorithm in ("P-Tucker", "P-Tucker-Cache"):
+            outcome = run_algorithm(algorithm, tensor, config)
+            experiment.rows.append(
+                {
+                    "order": order,
+                    "algorithm": algorithm,
+                    "sec/iter": outcome.seconds_per_iteration,
+                    "peak_mem_MB": outcome.peak_memory_mb,
+                }
+            )
+    experiment.add_note(
+        "The paper reports P-Tucker-Cache up to 1.7x faster while P-Tucker needs "
+        "up to 29.5x less memory at the largest order; the expected shape is the "
+        "cache variant's memory growing with J^N while P-Tucker's stays flat."
+    )
+    return experiment

@@ -1,0 +1,65 @@
+"""Figure 9: P-Tucker versus P-Tucker-Approx (per-iteration time and accuracy).
+
+On the MovieLens dataset with J = 5 the paper shows (a) the per-iteration
+time of P-Tucker-Approx shrinking every iteration as core entries are
+truncated, eventually dropping below P-Tucker's flat per-iteration time, and
+(b) both methods converging to nearly the same reconstruction error, with the
+approximate variant converging faster in wall-clock terms.  This experiment
+reproduces both panels on the MovieLens-style stand-in.
+"""
+
+from __future__ import annotations
+
+from ..core import PTucker, PTuckerApprox, PTuckerConfig
+from ..data.movielens import generate_movielens_like
+from .harness import ExperimentResult
+
+
+def run(
+    rank: int = 5,
+    n_ratings: int = 8000,
+    max_iterations: int = 6,
+    truncation_rate: float = 0.2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the per-iteration time and error-vs-time curves of Figure 9."""
+    dataset = generate_movielens_like(
+        n_users=150, n_movies=80, n_years=8, n_hours=12, n_ratings=n_ratings, seed=seed
+    )
+    config = PTuckerConfig(
+        ranks=(rank,) * 4,
+        max_iterations=max_iterations,
+        truncation_rate=truncation_rate,
+        seed=seed,
+        tolerance=0.0,
+        orthogonalize=False,
+    )
+    exact = PTucker(config).fit(dataset.tensor)
+    approx = PTuckerApprox(config).fit(dataset.tensor)
+
+    experiment = ExperimentResult(name="figure9")
+    for label, result in (("P-Tucker", exact), ("P-Tucker-Approx", approx)):
+        elapsed = 0.0
+        for record in result.trace.records:
+            elapsed += record.seconds
+            experiment.rows.append(
+                {
+                    "algorithm": label,
+                    "iteration": record.iteration,
+                    "sec/iter": record.seconds,
+                    "elapsed_sec": elapsed,
+                    "recon_error": record.reconstruction_error,
+                    "core_nnz": record.core_nnz,
+                }
+            )
+    final_gap = (
+        approx.trace.errors[-1] / exact.trace.errors[-1]
+        if exact.trace.errors[-1] > 0
+        else 1.0
+    )
+    experiment.add_note(
+        "P-Tucker-Approx truncates noisy core entries every iteration, so its "
+        f"core shrinks and later iterations get cheaper; final error ratio "
+        f"approx/exact = {final_gap:.2f} (paper: nearly identical errors)."
+    )
+    return experiment

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for experiment results.
+
+The paper reports its evaluation as figures and tables; since this
+reproduction runs headless, every experiment returns rows of numbers and this
+module renders them as aligned text tables (the same rows a plotting script
+would consume).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 4) -> str:
+    """Render one table cell; floats use scientific notation when small/large."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Sequence[str] = (),
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns:
+        cols: List[str] = list(columns)
+    else:
+        # Union of keys across all rows, ordered by first appearance, so mixed
+        # row schemas (e.g. Table III's time rows and memory rows) all render.
+        cols = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+    rendered: List[List[str]] = [
+        [format_cell(row.get(col, ""), precision) for col in cols] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(cols)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(cols)))
+        for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used for "x times faster / less error" summaries."""
+    if denominator == 0.0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator
+
+
+def summarize_speedups(
+    rows: Sequence[Mapping[str, Cell]],
+    baseline_column: str,
+    target_column: str,
+) -> Dict[str, float]:
+    """Min/max ratio of two numeric columns across rows (e.g. paper's "1.7-14.1x")."""
+    ratios = [
+        ratio(float(row[baseline_column]), float(row[target_column]))
+        for row in rows
+        if row.get(baseline_column) not in (None, "")
+        and row.get(target_column) not in (None, "")
+    ]
+    if not ratios:
+        return {"min": 1.0, "max": 1.0}
+    return {"min": min(ratios), "max": max(ratios)}

@@ -1,0 +1,63 @@
+"""Table V: concept discovery on the MovieLens dataset.
+
+The paper clusters the rows of the movie factor matrix (J = 8, K = 100
+clusters) and finds coherent genre concepts (Thriller, Comedy, Drama).  With
+the synthetic MovieLens stand-in the genres are planted, so this experiment
+can go further than eyeballing: it reports, for each discovered concept, the
+dominant planted genre and its share of the cluster, plus the overall purity
+of the clustering against the planted genres.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import PTucker, PTuckerConfig
+from ..data.movielens import generate_movielens_like, movie_titles
+from ..discovery import concept_alignment, discover_concepts
+from .harness import ExperimentResult
+
+MOVIE_MODE = 1  # (user, movie, year, hour)
+
+
+def run(
+    rank: int = 8,
+    n_concepts: int = 6,
+    n_ratings: int = 15_000,
+    max_iterations: int = 6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the concept-discovery study of Table V."""
+    dataset = generate_movielens_like(
+        n_users=250, n_movies=120, n_years=10, n_hours=24, n_ratings=n_ratings, seed=seed
+    )
+    config = PTuckerConfig(ranks=(rank,) * 4, max_iterations=max_iterations, seed=seed)
+    result = PTucker(config).fit(dataset.tensor)
+    discovery = discover_concepts(result, MOVIE_MODE, n_concepts, seed=seed)
+    titles = movie_titles(dataset)
+
+    experiment = ExperimentResult(name="table5")
+    for concept in discovery.concepts:
+        members = concept.member_indices
+        if members.size == 0:
+            continue
+        genres = dataset.movie_genre[members]
+        counts = np.bincount(genres, minlength=dataset.n_genres)
+        dominant = int(np.argmax(counts))
+        share = float(counts[dominant]) / members.size
+        examples = ", ".join(titles[int(i)] for i in concept.representative_indices[:3])
+        experiment.rows.append(
+            {
+                "concept": concept.concept_id,
+                "size": concept.size,
+                "dominant_genre": dataset.genre_names[dominant],
+                "genre_share": share,
+                "examples": examples,
+            }
+        )
+    purity = concept_alignment(discovery, dataset.movie_genre)
+    experiment.add_note(
+        f"Clustering purity against the planted genres: {purity:.2f} "
+        "(the paper reports qualitatively coherent genre clusters)."
+    )
+    return experiment

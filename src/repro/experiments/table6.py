@@ -1,0 +1,63 @@
+"""Table VI: relation discovery on the MovieLens dataset.
+
+The paper inspects the largest core-tensor entries and reports the relations
+they encode, e.g. strong (year, hour) combinations for particular genres.
+This experiment fits P-Tucker on the MovieLens-style stand-in, extracts the
+top relations between the movie, year and hour modes, and — because the
+stand-in's genre/year and genre/hour affinities are planted — checks that the
+discovered peak hours/years coincide with the planted affinity peaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import PTucker, PTuckerConfig
+from ..data.movielens import generate_movielens_like
+from ..discovery import discover_relations
+from .harness import ExperimentResult
+
+MODE_NAMES = ("user", "movie", "year", "hour")
+
+
+def run(
+    rank: int = 6,
+    n_relations: int = 3,
+    n_ratings: int = 15_000,
+    max_iterations: int = 6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the relation-discovery study of Table VI."""
+    dataset = generate_movielens_like(
+        n_users=250, n_movies=120, n_years=10, n_hours=24, n_ratings=n_ratings, seed=seed
+    )
+    config = PTuckerConfig(ranks=(rank,) * 4, max_iterations=max_iterations, seed=seed)
+    result = PTucker(config).fit(dataset.tensor)
+    relations = discover_relations(
+        result, n_relations=n_relations, modes=(1, 2, 3), n_attributes=3
+    )
+
+    planted_year_peaks = np.argmax(dataset.genre_year_affinity, axis=1)
+    planted_hour_peaks = np.argmax(dataset.genre_hour_affinity, axis=1)
+
+    experiment = ExperimentResult(name="table6")
+    for relation in relations:
+        top_years = relation.top_attributes.get(2, np.empty(0, dtype=np.int64))
+        top_hours = relation.top_attributes.get(3, np.empty(0, dtype=np.int64))
+        year_hit = bool(np.intersect1d(top_years, planted_year_peaks).size)
+        hour_hit = bool(np.intersect1d(top_hours, planted_hour_peaks).size)
+        experiment.rows.append(
+            {
+                "relation": relation.rank,
+                "g_value": abs(relation.strength),
+                "top_years": ", ".join(str(int(y)) for y in top_years),
+                "top_hours": ", ".join(str(int(h)) for h in top_hours),
+                "matches_planted_year_peak": year_hit,
+                "matches_planted_hour_peak": hour_hit,
+            }
+        )
+    experiment.add_note(
+        "Each relation is one of the largest core entries; its top years/hours are "
+        "compared against the planted genre-year and genre-hour affinity peaks."
+    )
+    return experiment

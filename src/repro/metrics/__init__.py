@@ -1,0 +1,27 @@
+"""Accuracy, memory and timing metrics."""
+
+from .errors import (
+    fit,
+    reconstruction_error,
+    regularized_loss,
+    residuals,
+    rmse_of_values,
+    test_rmse,
+)
+from .memory import BYTES_PER_FLOAT, MemoryModel, MemoryTracker, TensorAttributes
+from .timing import IterationTimer, Stopwatch
+
+__all__ = [
+    "reconstruction_error",
+    "test_rmse",
+    "regularized_loss",
+    "residuals",
+    "fit",
+    "rmse_of_values",
+    "MemoryModel",
+    "MemoryTracker",
+    "TensorAttributes",
+    "BYTES_PER_FLOAT",
+    "IterationTimer",
+    "Stopwatch",
+]

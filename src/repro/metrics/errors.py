@@ -1,0 +1,80 @@
+"""Accuracy metrics used in the paper's evaluation.
+
+* :func:`reconstruction_error` — Eq. (5): the root of the summed squared
+  residuals over the observed entries Ω (the paper reports this on the
+  training set).
+* :func:`test_rmse` — root mean square error of the predictions on a held-out
+  set of observed entries (Figure 11, right panel).
+* :func:`regularized_loss` — the full objective of Eq. (6), used by the
+  convergence tests (Theorem 2 asserts it is monotonically non-increasing).
+* :func:`fit` — the conventional "fit" score ``1 - ||residual|| / ||X||``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..tensor.coo import SparseTensor
+from ..tensor.operations import sparse_reconstruct
+
+
+def residuals(
+    tensor: SparseTensor, core: np.ndarray, factors: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Observed value minus model prediction at every observed entry."""
+    predictions = sparse_reconstruct(tensor, core, factors)
+    return tensor.values - predictions
+
+
+def reconstruction_error(
+    tensor: SparseTensor, core: np.ndarray, factors: Sequence[np.ndarray]
+) -> float:
+    """Reconstruction error of Eq. (5): sqrt of the sum of squared residuals."""
+    res = residuals(tensor, core, factors)
+    return float(np.sqrt(np.sum(res * res)))
+
+
+def test_rmse(
+    tensor: SparseTensor, core: np.ndarray, factors: Sequence[np.ndarray]
+) -> float:
+    """Root mean square error of predictions over the entries of ``tensor``."""
+    if tensor.nnz == 0:
+        return 0.0
+    res = residuals(tensor, core, factors)
+    return float(np.sqrt(np.mean(res * res)))
+
+
+def regularized_loss(
+    tensor: SparseTensor,
+    core: np.ndarray,
+    factors: Sequence[np.ndarray],
+    regularization: float,
+) -> float:
+    """The sparse Tucker objective of Eq. (6): squared error + L2 penalty."""
+    res = residuals(tensor, core, factors)
+    penalty = sum(float(np.sum(np.square(f))) for f in factors)
+    return float(np.sum(res * res) + regularization * penalty)
+
+
+def fit(
+    tensor: SparseTensor, core: np.ndarray, factors: Sequence[np.ndarray]
+) -> float:
+    """Fit score ``1 - ||X - X̂||_Ω / ||X||_Ω`` (1 is a perfect reconstruction)."""
+    denom = tensor.norm()
+    if denom == 0.0:
+        return 1.0
+    return 1.0 - reconstruction_error(tensor, core, factors) / denom
+
+
+def rmse_of_values(observed: np.ndarray, predicted: np.ndarray) -> float:
+    """Plain RMSE between two aligned value arrays."""
+    observed = np.asarray(observed, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if observed.shape != predicted.shape:
+        raise ValueError("observed and predicted arrays must have the same shape")
+    if observed.size == 0:
+        return 0.0
+    diff = observed - predicted
+    return float(np.sqrt(np.mean(diff * diff)))

@@ -1,0 +1,72 @@
+"""Timing helpers shared by the solvers and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Solvers use one stopwatch per run to attribute time to phases
+    ("update-factors", "error", "truncate-core"), which the experiments then
+    report as per-iteration times.
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager adding the elapsed time under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[label] = self.durations.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
+
+    def total(self) -> float:
+        """Total time across all labels."""
+        return float(sum(self.durations.values()))
+
+    def mean(self, label: str) -> float:
+        """Mean duration of one occurrence of ``label`` (0 when never seen)."""
+        count = self.counts.get(label, 0)
+        if count == 0:
+            return 0.0
+        return self.durations[label] / count
+
+
+@dataclass
+class IterationTimer:
+    """Per-iteration wall-clock times of an ALS run.
+
+    The paper reports *average elapsed time per iteration* (Section IV-A3);
+    :attr:`mean_seconds` is that number.
+    """
+
+    seconds: List[float] = field(default_factory=list)
+
+    @contextmanager
+    def iteration(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds.append(time.perf_counter() - start)
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self.seconds:
+            return 0.0
+        return float(sum(self.seconds) / len(self.seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.seconds))

@@ -1,0 +1,122 @@
+"""Optional process-based parallel row updates.
+
+The default P-Tucker path vectorises each mode update globally, which is the
+fastest strategy for NumPy.  For completeness — and to demonstrate that the
+row independence property of Section III-B really does permit parallel
+execution — this module provides a process-pool executor that partitions the
+rows of one mode across workers, updates each partition independently with
+the same kernel, and merges the results.  Because rows are independent, the
+merged factor matrix is identical (up to floating-point associativity) to the
+serial result; a test asserts this.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tensor.coo import SparseTensor
+from ..core.row_update import (
+    accumulate_normal_equations,
+    build_mode_context,
+    compute_delta_block,
+    core_unfolding,
+    solve_rows,
+)
+from .partition import partition_rows
+
+
+def _update_row_subset(
+    indices: np.ndarray,
+    values: np.ndarray,
+    shape: Tuple[int, ...],
+    factors: List[np.ndarray],
+    core: np.ndarray,
+    mode: int,
+    rows: np.ndarray,
+    regularization: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Worker: compute updated rows for a subset of mode-``mode`` row indices.
+
+    Returns ``(rows, new_row_values)``.  Module-level so it can be pickled by
+    ``ProcessPoolExecutor``.
+    """
+    row_set = np.asarray(rows, dtype=np.int64)
+    mask = np.isin(indices[:, mode], row_set)
+    local_idx = indices[mask]
+    local_val = values[mask]
+    if local_idx.shape[0] == 0:
+        return row_set, factors[mode][row_set]
+
+    core_unf = core_unfolding(core, mode)
+    deltas = compute_delta_block(local_idx, factors, core_unf, mode)
+    # Map each entry to the position of its row inside row_set.
+    order = np.argsort(row_set, kind="stable")
+    sorted_rows = row_set[order]
+    positions_sorted = np.searchsorted(sorted_rows, local_idx[:, mode])
+    segment_of_entry = order[positions_sorted]
+    b_matrices, c_vectors = accumulate_normal_equations(
+        deltas, local_val, segment_of_entry, row_set.shape[0]
+    )
+    new_rows = factors[mode][row_set].copy()
+    touched = np.unique(segment_of_entry)
+    solved = solve_rows(b_matrices[touched], c_vectors[touched], regularization)
+    new_rows[touched] = solved
+    return row_set, new_rows
+
+
+def parallel_update_factor_mode(
+    tensor: SparseTensor,
+    factors: List[np.ndarray],
+    core: np.ndarray,
+    mode: int,
+    regularization: float,
+    n_workers: int = 2,
+    scheduling: str = "dynamic",
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> np.ndarray:
+    """Update ``A^(mode)`` using a pool of worker processes.
+
+    Rows are partitioned by their |Ω_in| cost under the requested scheduling
+    policy, each worker solves its rows independently, and the updated rows
+    are merged into the factor matrix in place.
+    """
+    context = build_mode_context(tensor, mode)
+    if context.row_ids.shape[0] == 0:
+        return factors[mode]
+
+    partition = partition_rows(
+        context.row_counts.astype(np.float64), n_workers, scheduling
+    )
+    row_groups: List[np.ndarray] = [
+        context.row_ids[partition.thread_items(worker)]
+        for worker in range(partition.n_threads)
+    ]
+    row_groups = [group for group in row_groups if group.size]
+
+    own_executor = executor is None
+    pool = executor or ProcessPoolExecutor(max_workers=n_workers)
+    try:
+        futures = [
+            pool.submit(
+                _update_row_subset,
+                tensor.indices,
+                tensor.values,
+                tensor.shape,
+                [np.asarray(f) for f in factors],
+                np.asarray(core),
+                mode,
+                group,
+                regularization,
+            )
+            for group in row_groups
+        ]
+        for future in futures:
+            rows, new_values = future.result()
+            factors[mode][rows] = new_values
+    finally:
+        if own_executor:
+            pool.shutdown()
+    return factors[mode]

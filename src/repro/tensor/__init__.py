@@ -1,0 +1,42 @@
+"""Tensor substrate: sparse COO tensors, dense tensor algebra, CSF, and I/O."""
+
+from .coo import SparseTensor
+from .csf import CsfTensor
+from .dense import (
+    fold,
+    frobenius_norm,
+    kron_rows,
+    mode_product,
+    multi_mode_product,
+    tucker_reconstruct,
+    unfold,
+)
+from .io import load_npz, load_text, save_npz, save_text
+from .operations import (
+    factor_rows_product,
+    sparse_gram_chain,
+    sparse_reconstruct,
+    sparse_ttm_chain,
+    sparse_unfold_columns,
+)
+
+__all__ = [
+    "SparseTensor",
+    "CsfTensor",
+    "unfold",
+    "fold",
+    "mode_product",
+    "multi_mode_product",
+    "tucker_reconstruct",
+    "frobenius_norm",
+    "kron_rows",
+    "factor_rows_product",
+    "sparse_reconstruct",
+    "sparse_ttm_chain",
+    "sparse_gram_chain",
+    "sparse_unfold_columns",
+    "load_text",
+    "save_text",
+    "load_npz",
+    "save_npz",
+]

@@ -1,0 +1,129 @@
+"""Dense tensor algebra used by the HOOI-style baselines and the tests.
+
+The paper's baselines (Tucker-ALS / HOOI, Tucker-wOpt) manipulate dense
+intermediates; this module provides the classic dense tensor operations —
+mode-n matricization (unfolding), folding, n-mode products and full Tucker
+reconstruction — implemented on top of NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .validation import check_mode
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` matricization of a dense tensor (Definition 2).
+
+    Row ``i`` of the result is the mode-``mode`` fiber collection for index
+    ``i``; columns are ordered with the remaining modes varying fastest in
+    ascending mode order, which matches the index map of Eq. (1) in the paper
+    (0-based here).
+    """
+    arr = np.asarray(tensor)
+    mode = check_mode(mode, arr.ndim)
+    other = [m for m in range(arr.ndim) if m != mode]
+    return np.transpose(arr, [mode] + other).reshape(arr.shape[mode], -1, order="F")
+
+
+def fold(matrix: np.ndarray, mode: int, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`unfold`: rebuild the dense tensor from its unfolding."""
+    shape = tuple(int(s) for s in shape)
+    mode = check_mode(mode, len(shape))
+    other = [m for m in range(len(shape)) if m != mode]
+    inter_shape = (shape[mode],) + tuple(shape[m] for m in other)
+    mat = np.asarray(matrix)
+    if mat.shape != (shape[mode], int(np.prod([shape[m] for m in other], dtype=np.int64))):
+        raise ShapeError(
+            f"matrix of shape {mat.shape} cannot be folded to tensor shape {shape} "
+            f"along mode {mode}"
+        )
+    tensor = mat.reshape(inter_shape, order="F")
+    inverse_perm = np.argsort([mode] + other)
+    return np.transpose(tensor, inverse_perm)
+
+
+def mode_product(tensor: np.ndarray, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """n-mode product ``tensor ×_mode matrix`` (Definition 3).
+
+    ``matrix`` must have shape ``(J, I_mode)``; the result replaces the
+    ``mode``-th dimension by ``J``.
+    """
+    arr = np.asarray(tensor)
+    mat = np.asarray(matrix)
+    mode = check_mode(mode, arr.ndim)
+    if mat.ndim != 2:
+        raise ShapeError("the n-mode product requires a 2-D matrix")
+    if mat.shape[1] != arr.shape[mode]:
+        raise ShapeError(
+            f"matrix has {mat.shape[1]} columns but mode {mode} has length "
+            f"{arr.shape[mode]}"
+        )
+    unfolded = unfold(arr, mode)
+    result = mat @ unfolded
+    new_shape = list(arr.shape)
+    new_shape[mode] = mat.shape[0]
+    return fold(result, mode, new_shape)
+
+
+def multi_mode_product(
+    tensor: np.ndarray,
+    matrices: Sequence[np.ndarray],
+    skip: int = -1,
+    transpose: bool = False,
+) -> np.ndarray:
+    """Apply an n-mode product for every mode (optionally skipping one).
+
+    With ``transpose=True`` each matrix is transposed before the product,
+    which is the ``X ×_1 A^(1)T ... ×_N A^(N)T`` pattern of Algorithm 1.
+    """
+    result = np.asarray(tensor)
+    if len(matrices) != result.ndim:
+        raise ShapeError(
+            f"expected {result.ndim} matrices (one per mode), got {len(matrices)}"
+        )
+    for mode, matrix in enumerate(matrices):
+        if mode == skip:
+            continue
+        mat = matrix.T if transpose else matrix
+        result = mode_product(result, mat, mode)
+    return result
+
+
+def tucker_reconstruct(core: np.ndarray, factors: Sequence[np.ndarray]) -> np.ndarray:
+    """Rebuild the dense tensor ``core ×_1 A^(1) ... ×_N A^(N)``."""
+    core = np.asarray(core)
+    if len(factors) != core.ndim:
+        raise ShapeError(
+            f"core has {core.ndim} modes but {len(factors)} factor matrices given"
+        )
+    for mode, factor in enumerate(factors):
+        if factor.shape[1] != core.shape[mode]:
+            raise ShapeError(
+                f"factor {mode} has {factor.shape[1]} columns but the core's mode "
+                f"{mode} has length {core.shape[mode]}"
+            )
+    return multi_mode_product(core, list(factors))
+
+
+def frobenius_norm(tensor: np.ndarray) -> float:
+    """Frobenius norm of a dense tensor (Definition 1)."""
+    return float(np.linalg.norm(np.asarray(tensor).ravel()))
+
+
+def kron_rows(matrices: Sequence[np.ndarray], rows: Sequence[int]) -> np.ndarray:
+    """Kronecker product of one selected row from each matrix.
+
+    Used by tests as a slow-but-obvious reference for the row-update kernel:
+    ``kron_rows([A, B], [i, j]) == np.kron(A[i], B[j])``.
+    """
+    if len(matrices) != len(rows):
+        raise ShapeError("need exactly one row index per matrix")
+    out = np.asarray([1.0])
+    for matrix, row in zip(matrices, rows):
+        out = np.kron(out, np.asarray(matrix)[int(row)])
+    return out

@@ -1,0 +1,107 @@
+"""Reading and writing sparse tensors in the text format the paper uses.
+
+The P-Tucker release reads whitespace-separated text files where each line is
+``i_1 i_2 ... i_N value`` (1-based indices).  This module reads and writes
+that format, auto-detects the tensor shape when one is not given, and also
+supports a simple ``.npz`` binary round-trip for faster test fixtures.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataFormatError
+from .coo import SparseTensor
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_text(tensor: SparseTensor, path: PathLike, one_based: bool = True) -> None:
+    """Write a sparse tensor as ``i_1 ... i_N value`` lines."""
+    offset = 1 if one_based else 0
+    with open(path, "w", encoding="ascii") as handle:
+        for row, value in zip(tensor.indices, tensor.values):
+            cols = " ".join(str(int(i) + offset) for i in row)
+            handle.write(f"{cols} {value:.17g}\n")
+
+
+def load_text(
+    path: PathLike,
+    shape: Optional[Sequence[int]] = None,
+    one_based: bool = True,
+) -> SparseTensor:
+    """Read a sparse tensor from a ``i_1 ... i_N value`` text file.
+
+    When ``shape`` is omitted it is inferred as the per-mode maximum index
+    plus one.  Malformed lines raise :class:`~repro.exceptions.DataFormatError`
+    with the offending line number.
+    """
+    indices = []
+    values = []
+    order: Optional[int] = None
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) < 2:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected at least one index and a value"
+                )
+            if order is None:
+                order = len(parts) - 1
+            elif len(parts) - 1 != order:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected {order} indices, got {len(parts) - 1}"
+                )
+            try:
+                idx = [int(p) for p in parts[:-1]]
+                val = float(parts[-1])
+            except ValueError as exc:
+                raise DataFormatError(f"{path}:{lineno}: {exc}") from exc
+            if one_based:
+                idx = [i - 1 for i in idx]
+            if any(i < 0 for i in idx):
+                raise DataFormatError(
+                    f"{path}:{lineno}: negative index after applying base offset"
+                )
+            indices.append(idx)
+            values.append(val)
+
+    if order is None:
+        raise DataFormatError(f"{path}: file contains no tensor entries")
+
+    index_array = np.asarray(indices, dtype=np.int64)
+    value_array = np.asarray(values, dtype=np.float64)
+    if shape is None:
+        shape = tuple(int(m) + 1 for m in index_array.max(axis=0))
+    return SparseTensor(index_array, value_array, shape)
+
+
+def save_npz(tensor: SparseTensor, path: PathLike) -> None:
+    """Save a sparse tensor to NumPy ``.npz`` (indices, values, shape)."""
+    np.savez_compressed(
+        path,
+        indices=tensor.indices,
+        values=tensor.values,
+        shape=np.asarray(tensor.shape, dtype=np.int64),
+    )
+
+
+def load_npz(path: PathLike) -> SparseTensor:
+    """Load a sparse tensor previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        missing = {"indices", "values", "shape"} - set(data.files)
+        if missing:
+            raise DataFormatError(f"{path}: missing arrays {sorted(missing)}")
+        return SparseTensor(data["indices"], data["values"], tuple(data["shape"]))
+
+
+def roundtrip_paths(base: PathLike) -> Tuple[str, str]:
+    """Return the (text, npz) file names derived from a base path (test helper)."""
+    base = os.fspath(base)
+    return base + ".tns", base + ".npz"

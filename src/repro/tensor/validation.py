@@ -1,0 +1,93 @@
+"""Shared validation helpers for tensor construction and solver inputs."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def check_shape(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Validate a tensor shape and return it as a tuple of positive ints."""
+    if len(shape) == 0:
+        raise ShapeError("tensor shape must have at least one mode")
+    out = []
+    for dim in shape:
+        d = int(dim)
+        if d <= 0:
+            raise ShapeError(f"every mode length must be positive, got {shape}")
+        out.append(d)
+    return tuple(out)
+
+
+def check_mode(mode: int, order: int) -> int:
+    """Validate that ``mode`` is a valid mode index for an ``order``-way tensor."""
+    m = int(mode)
+    if not 0 <= m < order:
+        raise ShapeError(f"mode {mode} out of range for an order-{order} tensor")
+    return m
+
+
+def check_ranks(ranks: Sequence[int], shape: Sequence[int]) -> Tuple[int, ...]:
+    """Validate Tucker ranks against a tensor shape.
+
+    Ranks must be positive; a rank larger than the corresponding mode length
+    is allowed mathematically but almost always a mistake, so it is rejected.
+    """
+    if len(ranks) != len(shape):
+        raise ShapeError(
+            f"expected {len(shape)} ranks (one per mode), got {len(ranks)}"
+        )
+    out = []
+    for rank, dim in zip(ranks, shape):
+        r = int(rank)
+        if r <= 0:
+            raise ShapeError(f"ranks must be positive, got {ranks}")
+        if r > dim:
+            raise ShapeError(
+                f"rank {r} exceeds mode length {dim}; Tucker ranks must not "
+                "exceed the corresponding dimensionality"
+            )
+        out.append(r)
+    return tuple(out)
+
+
+def check_indices(indices: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate a COO index array of shape (nnz, order) against ``shape``."""
+    idx = np.asarray(indices)
+    if idx.ndim != 2:
+        raise ShapeError(
+            f"indices must be a 2-D array of shape (nnz, order), got ndim={idx.ndim}"
+        )
+    if idx.shape[1] != len(shape):
+        raise ShapeError(
+            f"indices have {idx.shape[1]} columns but the tensor has "
+            f"{len(shape)} modes"
+        )
+    if idx.size and not np.issubdtype(idx.dtype, np.integer):
+        if not np.all(np.equal(np.mod(idx, 1), 0)):
+            raise ShapeError("indices must be integers")
+    idx = idx.astype(np.int64, copy=False)
+    if idx.size:
+        if idx.min() < 0:
+            raise ShapeError("indices must be non-negative")
+        upper = np.asarray(shape, dtype=np.int64)
+        if np.any(idx >= upper[None, :]):
+            raise ShapeError("an index exceeds the tensor shape")
+    return idx
+
+
+def check_values(values: np.ndarray, nnz: int) -> np.ndarray:
+    """Validate a COO value array against the number of stored entries."""
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.ndim != 1:
+        raise ShapeError("values must be a 1-D array")
+    if vals.shape[0] != nnz:
+        raise ShapeError(
+            f"got {vals.shape[0]} values for {nnz} index rows; they must match"
+        )
+    if vals.size and not np.all(np.isfinite(vals)):
+        raise ShapeError("tensor values must be finite")
+    return vals

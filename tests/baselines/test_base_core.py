@@ -1,0 +1,50 @@
+"""Tests for the shared HOOI baseline machinery (core projection, config reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TuckerAls
+from repro.baselines.base import HooiBaseline
+from repro.core import PTuckerConfig
+from repro.tensor import SparseTensor, multi_mode_product, tucker_reconstruct
+
+
+class TestCoreFromFactors:
+    def test_matches_dense_projection(self, rng):
+        """The streaming core computation equals X x_1 A^T ... x_N A^T on dense data."""
+        dense = rng.uniform(size=(6, 5, 4))
+        tensor = SparseTensor.from_dense(dense, keep_zeros=True)
+        factors = [np.linalg.qr(rng.standard_normal((d, 2)))[0] for d in dense.shape]
+        baseline = TuckerAls(PTuckerConfig(ranks=(2, 2, 2)))
+        core = baseline._core_from_factors(tensor, factors)
+        expected = multi_mode_product(dense, factors, transpose=True)
+        np.testing.assert_allclose(core, expected, atol=1e-10)
+
+    def test_orthonormal_factors_give_best_core(self, rng):
+        """For fixed orthonormal factors the projected core minimises the dense error."""
+        dense = rng.uniform(size=(6, 5, 4))
+        tensor = SparseTensor.from_dense(dense, keep_zeros=True)
+        factors = [np.linalg.qr(rng.standard_normal((d, 2)))[0] for d in dense.shape]
+        baseline = TuckerAls(PTuckerConfig(ranks=(2, 2, 2)))
+        core = baseline._core_from_factors(tensor, factors)
+        best_error = np.linalg.norm(dense - tucker_reconstruct(core, factors))
+        perturbed = core + rng.normal(0, 0.1, core.shape)
+        worse_error = np.linalg.norm(dense - tucker_reconstruct(perturbed, factors))
+        assert best_error <= worse_error + 1e-12
+
+
+class TestBaseClassContract:
+    def test_abstract_update_raises(self, random_small):
+        baseline = HooiBaseline(PTuckerConfig(ranks=(2, 2, 2), max_iterations=1))
+        with pytest.raises(NotImplementedError):
+            baseline.fit(random_small)
+
+    def test_initial_factors_orthonormal(self, random_small, rng):
+        baseline = TuckerAls(PTuckerConfig(ranks=(3, 3, 3)))
+        factors = baseline._initial_factors(random_small, (3, 3, 3), rng)
+        for factor in factors:
+            np.testing.assert_allclose(factor.T @ factor, np.eye(3), atol=1e-10)
+
+    def test_default_config_used_when_none_given(self):
+        baseline = TuckerAls()
+        assert baseline.config.max_iterations == 20

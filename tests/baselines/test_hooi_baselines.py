@@ -1,0 +1,115 @@
+"""Tests for the HOOI-style baselines: Tucker-ALS, Tucker-CSF and S-HOT."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SHot, TuckerAls, TuckerCsf
+from repro.baselines.base import leading_left_singular_vectors
+from repro.core import PTuckerConfig
+from repro.data import planted_tucker_tensor
+from repro.tensor import SparseTensor
+
+
+@pytest.fixture
+def dense_planted():
+    """A fully observed planted tensor: HOOI's zero-fill semantics are exact here."""
+    planted = planted_tucker_tensor(
+        (12, 11, 10), (3, 3, 3), nnz=12 * 11 * 10, noise_level=0.0, seed=5
+    )
+    return planted
+
+
+@pytest.fixture
+def hooi_config():
+    return PTuckerConfig(ranks=(3, 3, 3), max_iterations=6, seed=0, tolerance=1e-8)
+
+
+class TestLeadingSingularVectors:
+    def test_matrix_path_matches_numpy(self, rng):
+        matrix = rng.standard_normal((20, 6))
+        u_full, _, _ = np.linalg.svd(matrix, full_matrices=False)
+        u_top = leading_left_singular_vectors(matrix, None, 3)
+        # Columns may differ by sign; compare projectors.
+        np.testing.assert_allclose(
+            u_top @ u_top.T, u_full[:, :3] @ u_full[:, :3].T, atol=1e-8
+        )
+
+    def test_gram_path_matches_matrix_path(self, rng):
+        matrix = rng.standard_normal((30, 5))
+        gram = matrix.T @ matrix
+        direct = leading_left_singular_vectors(matrix, None, 2)
+        via_gram = leading_left_singular_vectors(
+            None, gram, 2, producer=lambda v: matrix @ v
+        )
+        np.testing.assert_allclose(
+            direct @ direct.T, via_gram @ via_gram.T, atol=1e-8
+        )
+
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            leading_left_singular_vectors(None, None, 2)
+
+
+class TestAgreementBetweenBaselines:
+    def test_all_three_agree_on_errors(self, random_small, hooi_config):
+        """CSF and S-HOT are computational reorganisations of Tucker-ALS."""
+        errors = {}
+        for cls in (TuckerAls, TuckerCsf, SHot):
+            result = cls(hooi_config).fit(random_small)
+            errors[cls.__name__] = result.trace.errors
+        np.testing.assert_allclose(
+            errors["TuckerAls"], errors["TuckerCsf"], rtol=1e-5
+        )
+        np.testing.assert_allclose(errors["TuckerAls"], errors["SHot"], rtol=1e-5)
+
+    def test_factors_are_orthonormal(self, random_small, hooi_config):
+        for cls in (TuckerAls, TuckerCsf, SHot):
+            result = cls(hooi_config).fit(random_small)
+            assert result.orthogonality_defect() < 1e-8
+
+
+class TestRecoveryOnFullyObservedData:
+    def test_tucker_als_fits_dense_low_rank_tensor(self, dense_planted, hooi_config):
+        result = TuckerAls(hooi_config).fit(dense_planted.tensor)
+        final_error = result.trace.errors[-1]
+        norm = dense_planted.tensor.norm()
+        assert final_error < 0.02 * norm
+
+    def test_shot_matches_tucker_als_on_dense_data(self, dense_planted, hooi_config):
+        als = TuckerAls(hooi_config).fit(dense_planted.tensor)
+        shot = SHot(hooi_config).fit(dense_planted.tensor)
+        assert shot.trace.errors[-1] == pytest.approx(als.trace.errors[-1], rel=1e-4)
+
+
+class TestMemoryProfiles:
+    def test_tucker_als_intermediate_larger_than_shot(self, hooi_config):
+        # A tensor with one long mode makes the dense Y_(n) clearly larger than
+        # the S-HOT Gram matrix.
+        planted = planted_tucker_tensor(
+            (400, 12, 12), (3, 3, 3), nnz=3000, noise_level=0.0, seed=2
+        )
+        als = TuckerAls(hooi_config).fit(planted.tensor)
+        shot = SHot(hooi_config).fit(planted.tensor)
+        assert als.memory.peak_bytes > shot.memory.peak_bytes
+
+    def test_oom_budget_stops_tucker_als(self, hooi_config):
+        planted = planted_tucker_tensor(
+            (3000, 10, 10), (3, 3, 3), nnz=2000, noise_level=0.0, seed=2
+        )
+        from repro.exceptions import OutOfMemoryError
+
+        config = hooi_config.with_updates(memory_budget_bytes=10_000)
+        with pytest.raises(OutOfMemoryError):
+            TuckerAls(config).fit(planted.tensor)
+
+
+class TestZeroFillSemantics:
+    def test_sparse_observations_pull_predictions_to_zero(self, hooi_config):
+        """With few observed entries, zero-fill baselines underestimate values."""
+        planted = planted_tucker_tensor(
+            (30, 30, 30), (3, 3, 3), nnz=500, noise_level=0.0, seed=3
+        )
+        result = TuckerAls(hooi_config).fit(planted.tensor)
+        predictions = result.predict_tensor(planted.tensor)
+        observed_mean = float(np.mean(planted.tensor.values))
+        assert float(np.mean(predictions)) < observed_mean

@@ -1,0 +1,93 @@
+"""Tests for Tucker-wOpt and the CP-ALS reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CpAls, TuckerWopt
+from repro.core import PTuckerConfig
+from repro.data import planted_tucker_tensor
+from repro.exceptions import OutOfMemoryError
+from repro.tensor import SparseTensor
+
+
+class TestTuckerWopt:
+    def test_loss_decreases(self, planted_small):
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=8, seed=0, tolerance=0.0)
+        result = TuckerWopt(config).fit(planted_small.tensor)
+        assert result.trace.errors[-1] < result.trace.errors[0]
+
+    def test_observed_entry_objective_ignores_missing_cells(self):
+        """wOpt must fit the observed entries without being dragged to zero."""
+        planted = planted_tucker_tensor(
+            (15, 15, 15), (2, 2, 2), nnz=600, noise_level=0.0, seed=4
+        )
+        config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=25, seed=0, tolerance=0.0)
+        result = TuckerWopt(config).fit(planted.tensor)
+        predictions = result.predict_tensor(planted.tensor)
+        observed_mean = float(np.mean(planted.tensor.values))
+        assert float(np.mean(predictions)) > 0.5 * observed_mean
+
+    def test_dense_intermediates_tracked(self, planted_small):
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=2, seed=0)
+        result = TuckerWopt(config).fit(planted_small.tensor)
+        cells = int(np.prod(planted_small.tensor.shape))
+        assert result.memory.peak_bytes >= 3 * cells * 8
+
+    def test_oom_on_tight_budget(self, planted_small):
+        config = PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=2, seed=0, memory_budget_bytes=1000
+        )
+        with pytest.raises(OutOfMemoryError):
+            TuckerWopt(config).fit(planted_small.tensor)
+
+    def test_memory_exceeds_ptucker(self, planted_small):
+        from repro.core import PTucker
+
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=2, seed=0)
+        wopt = TuckerWopt(config).fit(planted_small.tensor)
+        ptucker = PTucker(config).fit(planted_small.tensor)
+        assert wopt.memory.peak_bytes > 100 * ptucker.memory.peak_bytes
+
+
+class TestCpAls:
+    def test_error_decreases_and_converges(self, planted_small):
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=10, seed=0, tolerance=0.0)
+        result = CpAls(config).fit(planted_small.tensor)
+        errors = result.trace.errors
+        assert errors[-1] < 0.5 * errors[0]
+
+    def test_core_is_superdiagonal(self, planted_small):
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=3, seed=0)
+        result = CpAls(config).fit(planted_small.tensor)
+        core = result.core
+        for index in np.ndindex(*core.shape):
+            if len(set(index)) != 1:
+                assert core[index] == 0.0
+
+    def test_rejects_mixed_ranks(self, planted_small):
+        config = PTuckerConfig(ranks=(2, 3, 2), max_iterations=2, seed=0)
+        with pytest.raises(ValueError):
+            CpAls(config).fit(planted_small.tensor)
+
+    def test_factor_columns_unit_norm(self, planted_small):
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=4, seed=0)
+        result = CpAls(config).fit(planted_small.tensor)
+        for factor in result.factors:
+            norms = np.linalg.norm(factor, axis=0)
+            np.testing.assert_allclose(norms, np.ones_like(norms), rtol=1e-6)
+
+    def test_recovers_planted_cp_structure(self, rng):
+        """A rank-1 planted tensor should be fit almost exactly."""
+        dims = (12, 10, 8)
+        vectors = [rng.uniform(0.5, 1.0, size=d) for d in dims]
+        dense = np.einsum("i,j,k->ijk", *vectors)
+        tensor = SparseTensor.from_dense(dense, keep_zeros=True)
+        config = PTuckerConfig(
+            ranks=(1, 1, 1),
+            max_iterations=10,
+            seed=0,
+            tolerance=0.0,
+            regularization=1e-9,
+        )
+        result = CpAls(config).fit(tensor)
+        assert result.trace.errors[-1] < 1e-5 * tensor.norm()

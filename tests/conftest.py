@@ -1,0 +1,71 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PTuckerConfig
+from repro.data import generate_movielens_like, planted_tucker_tensor, random_sparse_tensor
+from repro.tensor import SparseTensor
+
+
+@pytest.fixture
+def rng():
+    """A seeded random generator for test-local randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_dense_tensor(rng):
+    """A small dense 3-way array for exact comparisons."""
+    return rng.uniform(0.0, 1.0, size=(4, 5, 3))
+
+
+@pytest.fixture
+def small_sparse_tensor():
+    """A tiny handcrafted sparse tensor with known entries."""
+    entries = [
+        ((0, 0, 0), 1.0),
+        ((1, 2, 0), 2.5),
+        ((2, 1, 1), -0.5),
+        ((3, 3, 2), 4.0),
+        ((1, 1, 1), 0.75),
+    ]
+    return SparseTensor.from_entries(entries, shape=(4, 4, 3))
+
+
+@pytest.fixture
+def planted_small():
+    """A small planted Tucker tensor with low noise (fast to factorize)."""
+    return planted_tucker_tensor(
+        shape=(20, 18, 16), ranks=(3, 3, 3), nnz=1500, noise_level=0.01, seed=42
+    )
+
+
+@pytest.fixture
+def planted_4way():
+    """A small planted 4-way tensor."""
+    return planted_tucker_tensor(
+        shape=(12, 10, 8, 6), ranks=(2, 2, 2, 2), nnz=900, noise_level=0.01, seed=7
+    )
+
+
+@pytest.fixture
+def random_small():
+    """A small random sparse tensor (no planted structure)."""
+    return random_sparse_tensor((15, 15, 15), nnz=600, seed=3)
+
+
+@pytest.fixture
+def movielens_tiny():
+    """A tiny MovieLens-style dataset for discovery tests."""
+    return generate_movielens_like(
+        n_users=60, n_movies=40, n_years=6, n_hours=8, n_ratings=2500, seed=11
+    )
+
+
+@pytest.fixture
+def fast_config():
+    """A config that converges quickly on the small fixtures."""
+    return PTuckerConfig(ranks=(3, 3, 3), max_iterations=5, seed=0)

@@ -1,0 +1,134 @@
+"""Tests for P-Tucker-Approx and the partial reconstruction error R(β)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PTucker, PTuckerApprox, PTuckerConfig
+from repro.core.approx import partial_reconstruction_errors, truncate_noisy_entries
+from repro.metrics.errors import reconstruction_error
+from repro.tensor import sparse_reconstruct
+
+
+@pytest.fixture
+def fitted_small(planted_small):
+    config = PTuckerConfig(
+        ranks=(3, 3, 3), max_iterations=3, seed=0, orthogonalize=False
+    )
+    result = PTucker(config).fit(planted_small.tensor)
+    return planted_small.tensor, result
+
+
+class TestPartialReconstructionError:
+    def test_matches_direct_definition(self, fitted_small):
+        """R(β) equals error(with β) - error(without β), entry by entry."""
+        tensor, result = fitted_small
+        scores = partial_reconstruction_errors(tensor, result.core, result.factors)
+        full_sq = reconstruction_error(tensor, result.core, result.factors) ** 2
+        flat = result.core.reshape(-1)
+        for position in (0, 5, 13, 26):
+            without = flat.copy()
+            without[position] = 0.0
+            err_without = (
+                reconstruction_error(
+                    tensor, without.reshape(result.core.shape), result.factors
+                )
+                ** 2
+            )
+            np.testing.assert_allclose(
+                scores[position], full_sq - err_without, rtol=1e-6, atol=1e-8
+            )
+
+    def test_blocked_equals_unblocked(self, fitted_small):
+        tensor, result = fitted_small
+        full = partial_reconstruction_errors(tensor, result.core, result.factors)
+        blocked = partial_reconstruction_errors(
+            tensor, result.core, result.factors, block_size=37
+        )
+        np.testing.assert_allclose(full, blocked, atol=1e-8)
+
+    def test_zero_core_entry_has_zero_score(self, fitted_small):
+        tensor, result = fitted_small
+        core = result.core.copy()
+        core.reshape(-1)[4] = 0.0
+        scores = partial_reconstruction_errors(tensor, core, result.factors)
+        assert scores[4] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTruncation:
+    def test_removes_expected_fraction(self, fitted_small):
+        tensor, result = fitted_small
+        truncated, removed = truncate_noisy_entries(
+            tensor, result.core, result.factors, truncation_rate=0.25
+        )
+        n_nonzero = int(np.count_nonzero(result.core))
+        assert removed.size == int(np.floor(0.25 * n_nonzero))
+        assert np.count_nonzero(truncated) == n_nonzero - removed.size
+
+    def test_removes_highest_r_entries(self, fitted_small):
+        tensor, result = fitted_small
+        scores = partial_reconstruction_errors(tensor, result.core, result.factors)
+        _, removed = truncate_noisy_entries(
+            tensor, result.core, result.factors, truncation_rate=0.2
+        )
+        kept = np.setdiff1d(np.arange(result.core.size), removed)
+        assert scores[removed].min() >= scores[kept].max() - 1e-9
+
+    def test_small_rate_removes_nothing_for_tiny_core(self, planted_small, rng):
+        tensor = planted_small.tensor
+        core = rng.uniform(size=(2, 2, 2))
+        factors = [rng.uniform(size=(d, 2)) for d in tensor.shape]
+        _, removed = truncate_noisy_entries(tensor, core, factors, truncation_rate=0.05)
+        assert removed.size == 0
+
+    def test_all_zero_core(self, planted_small):
+        tensor = planted_small.tensor
+        core = np.zeros((3, 3, 3))
+        factors = [np.ones((d, 3)) for d in tensor.shape]
+        truncated, removed = truncate_noisy_entries(tensor, core, factors, 0.5)
+        assert removed.size == 0
+        assert np.all(truncated == 0.0)
+
+
+class TestPTuckerApprox:
+    def test_core_shrinks_monotonically(self, planted_small):
+        config = PTuckerConfig(
+            ranks=(3, 3, 3),
+            max_iterations=5,
+            truncation_rate=0.2,
+            seed=0,
+            tolerance=0.0,
+            orthogonalize=False,
+        )
+        result = PTuckerApprox(config).fit(planted_small.tensor)
+        core_sizes = [r.core_nnz for r in result.trace.records]
+        assert all(b <= a for a, b in zip(core_sizes, core_sizes[1:]))
+        assert core_sizes[-1] < core_sizes[0]
+
+    def test_accuracy_stays_close_to_exact(self, planted_small):
+        config = PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=6, truncation_rate=0.2, seed=0, tolerance=0.0
+        )
+        exact = PTucker(config).fit(planted_small.tensor)
+        approx = PTuckerApprox(config).fit(planted_small.tensor)
+        assert approx.trace.errors[-1] <= 3.0 * exact.trace.errors[-1]
+
+    def test_removed_counts_recorded(self, planted_small):
+        config = PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=3, truncation_rate=0.3, seed=0, tolerance=0.0
+        )
+        solver = PTuckerApprox(config)
+        solver.fit(planted_small.tensor)
+        assert len(solver.removed_per_iteration) == 3
+        assert solver.removed_per_iteration[0] > 0
+
+    def test_final_core_is_sparse(self, planted_small):
+        config = PTuckerConfig(
+            ranks=(3, 3, 3),
+            max_iterations=5,
+            truncation_rate=0.3,
+            seed=0,
+            tolerance=0.0,
+            orthogonalize=False,
+        )
+        result = PTuckerApprox(config).fit(planted_small.tensor)
+        assert result.core_nnz < 27

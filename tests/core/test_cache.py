@@ -1,0 +1,69 @@
+"""Tests for P-Tucker-Cache: identical results to P-Tucker, more memory."""
+
+import numpy as np
+import pytest
+
+from repro.core import PTucker, PTuckerCache, PTuckerConfig
+
+
+class TestEquivalence:
+    def test_same_errors_as_ptucker(self, planted_small):
+        """The cache only changes how δ is computed, never its value."""
+        config = PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=4, seed=0, tolerance=0.0
+        )
+        exact = PTucker(config).fit(planted_small.tensor)
+        cached = PTuckerCache(config).fit(planted_small.tensor)
+        np.testing.assert_allclose(
+            exact.trace.errors, cached.trace.errors, rtol=1e-6
+        )
+
+    def test_same_factors_as_ptucker(self, planted_small):
+        config = PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=3, seed=0, tolerance=0.0
+        )
+        exact = PTucker(config).fit(planted_small.tensor)
+        cached = PTuckerCache(config).fit(planted_small.tensor)
+        for a, b in zip(exact.factors, cached.factors):
+            np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_equivalence_on_4way(self, planted_4way):
+        config = PTuckerConfig(
+            ranks=(2, 2, 2, 2), max_iterations=3, seed=0, tolerance=0.0
+        )
+        exact = PTucker(config).fit(planted_4way.tensor)
+        cached = PTuckerCache(config).fit(planted_4way.tensor)
+        np.testing.assert_allclose(exact.trace.errors, cached.trace.errors, rtol=1e-6)
+
+    def test_handles_zero_factor_entries(self, planted_small):
+        """Zero divisors must fall back to the direct computation, not produce NaN."""
+        config = PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=3, seed=3, tolerance=0.0
+        )
+        result = PTuckerCache(config).fit(planted_small.tensor)
+        assert np.all(np.isfinite(result.core))
+        for factor in result.factors:
+            assert np.all(np.isfinite(factor))
+
+
+class TestMemoryProfile:
+    def test_cache_uses_more_intermediate_memory(self, planted_small):
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=2, seed=0)
+        exact = PTucker(config).fit(planted_small.tensor)
+        cached = PTuckerCache(config).fit(planted_small.tensor)
+        assert cached.memory.peak_bytes > exact.memory.peak_bytes
+
+    def test_cache_memory_scales_with_core_size(self, planted_small):
+        small_rank = PTuckerCache(
+            PTuckerConfig(ranks=(2, 2, 2), max_iterations=1, seed=0)
+        ).fit(planted_small.tensor)
+        large_rank = PTuckerCache(
+            PTuckerConfig(ranks=(4, 4, 4), max_iterations=1, seed=0)
+        ).fit(planted_small.tensor)
+        assert large_rank.memory.peak_bytes > small_rank.memory.peak_bytes
+
+    def test_cache_table_accounted_as_omega_times_core(self, planted_small):
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=1, seed=0)
+        result = PTuckerCache(config).fit(planted_small.tensor)
+        expected = planted_small.tensor.nnz * 27 * 8  # |Omega| * |G| * 8 bytes
+        assert result.memory.peak_bytes >= expected

@@ -1,0 +1,104 @@
+"""Tests for core-tensor utilities: init, orthogonalisation, LS core, SparseCore."""
+
+import numpy as np
+import pytest
+
+from repro.core import PTucker, PTuckerConfig, least_squares_core, orthogonalize
+from repro.core.core_tensor import SparseCore, initialize_core, initialize_factors
+from repro.exceptions import ShapeError
+from repro.metrics.errors import reconstruction_error
+from repro.tensor import sparse_reconstruct
+
+
+class TestInitialization:
+    def test_factor_shapes_and_range(self, rng):
+        factors = initialize_factors((5, 6, 7), (2, 3, 4), rng)
+        assert [f.shape for f in factors] == [(5, 2), (6, 3), (7, 4)]
+        for factor in factors:
+            assert factor.min() >= 0.0
+            assert factor.max() < 1.0
+
+    def test_core_shape_and_range(self, rng):
+        core = initialize_core((2, 3, 4), rng)
+        assert core.shape == (2, 3, 4)
+        assert core.min() >= 0.0
+        assert core.max() < 1.0
+
+    def test_rank_count_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            initialize_factors((5, 6), (2, 2, 2), rng)
+
+
+class TestOrthogonalize:
+    def test_factors_become_orthonormal(self, rng):
+        factors = [rng.uniform(size=(10, 3)), rng.uniform(size=(8, 2))]
+        core = rng.uniform(size=(3, 2))
+        new_factors, _ = orthogonalize(factors, core)
+        for factor in new_factors:
+            gram = factor.T @ factor
+            np.testing.assert_allclose(gram, np.eye(factor.shape[1]), atol=1e-10)
+
+    def test_reconstruction_unchanged(self, planted_small, rng):
+        """Eq. (7)-(8): Q R push keeps G x_n A^(n) products identical."""
+        tensor = planted_small.tensor
+        factors = [rng.uniform(size=(d, 3)) for d in tensor.shape]
+        core = rng.uniform(size=(3, 3, 3))
+        before = sparse_reconstruct(tensor, core, factors)
+        new_factors, new_core = orthogonalize(factors, core)
+        after = sparse_reconstruct(tensor, new_core, new_factors)
+        np.testing.assert_allclose(before, after, atol=1e-8)
+
+    def test_error_unchanged(self, planted_small, rng):
+        tensor = planted_small.tensor
+        factors = [rng.uniform(size=(d, 3)) for d in tensor.shape]
+        core = rng.uniform(size=(3, 3, 3))
+        new_factors, new_core = orthogonalize(factors, core)
+        assert reconstruction_error(tensor, core, factors) == pytest.approx(
+            reconstruction_error(tensor, new_core, new_factors), rel=1e-9
+        )
+
+
+class TestLeastSquaresCore:
+    def test_improves_or_matches_reconstruction(self, planted_small):
+        config = PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=3, seed=0, orthogonalize=False
+        )
+        result = PTucker(config).fit(planted_small.tensor)
+        refit = least_squares_core(planted_small.tensor, result.factors)
+        original_error = reconstruction_error(
+            planted_small.tensor, result.core, result.factors
+        )
+        refit_error = reconstruction_error(
+            planted_small.tensor, refit, result.factors
+        )
+        assert refit_error <= original_error + 1e-6
+
+    def test_exact_on_noiseless_planted_data(self, rng):
+        from repro.data import planted_tucker_tensor
+
+        planted = planted_tucker_tensor(
+            (15, 12, 10), (2, 2, 2), nnz=800, noise_level=0.0, seed=9
+        )
+        core = least_squares_core(planted.tensor, list(planted.factors))
+        predictions = sparse_reconstruct(planted.tensor, core, list(planted.factors))
+        np.testing.assert_allclose(predictions, planted.tensor.values, atol=1e-6)
+
+
+class TestSparseCore:
+    def test_roundtrip(self, rng):
+        dense = rng.uniform(size=(3, 3, 3))
+        dense[dense < 0.5] = 0.0
+        sparse = SparseCore.from_dense(dense)
+        np.testing.assert_allclose(sparse.to_dense(), dense)
+        assert sparse.nnz == int(np.count_nonzero(dense))
+
+    def test_drop(self, rng):
+        dense = rng.uniform(0.1, 1.0, size=(2, 2, 2))
+        sparse = SparseCore.from_dense(dense)
+        dropped = sparse.drop(np.array([0, 1]))
+        assert dropped.nnz == sparse.nnz - 2
+
+    def test_empty_core(self):
+        sparse = SparseCore.from_dense(np.zeros((2, 2)))
+        assert sparse.nnz == 0
+        np.testing.assert_allclose(sparse.to_dense(), np.zeros((2, 2)))

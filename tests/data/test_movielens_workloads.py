@@ -1,0 +1,102 @@
+"""Tests for the MovieLens-style generator and the experiment workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    dimensionality_sweep,
+    generate_movielens_like,
+    movie_titles,
+    nnz_sweep,
+    order_sweep,
+    rank_sweep,
+    realworld_standins,
+)
+
+
+class TestMovieLensGenerator:
+    def test_tensor_shape_and_value_range(self, movielens_tiny):
+        tensor = movielens_tiny.tensor
+        assert tensor.order == 4
+        assert tensor.shape == (60, 40, 6, 8)
+        assert tensor.values.min() >= 0.0
+        assert tensor.values.max() <= 1.0
+
+    def test_no_duplicate_positions(self, movielens_tiny):
+        linear = movielens_tiny.tensor.linear_indices()
+        assert len(np.unique(linear)) == movielens_tiny.tensor.nnz
+
+    def test_ground_truth_shapes(self, movielens_tiny):
+        assert movielens_tiny.movie_genre.shape == (40,)
+        assert movielens_tiny.user_preference.shape == (60, movielens_tiny.n_genres)
+        assert movielens_tiny.genre_year_affinity.shape == (movielens_tiny.n_genres, 6)
+        assert movielens_tiny.genre_hour_affinity.shape == (movielens_tiny.n_genres, 8)
+
+    def test_user_preferences_are_distributions(self, movielens_tiny):
+        sums = movielens_tiny.user_preference.sum(axis=1)
+        np.testing.assert_allclose(sums, np.ones_like(sums))
+
+    def test_movies_of_genre(self, movielens_tiny):
+        for genre in range(movielens_tiny.n_genres):
+            movies = movielens_tiny.movies_of_genre(genre)
+            assert np.all(movielens_tiny.movie_genre[movies] == genre)
+
+    def test_titles_tagged_with_genre(self, movielens_tiny):
+        titles = movie_titles(movielens_tiny)
+        assert len(titles) == 40
+        genre0 = movielens_tiny.genre_names[movielens_tiny.movie_genre[0]]
+        assert genre0 in titles[0]
+
+    def test_seed_reproducibility(self):
+        a = generate_movielens_like(n_users=30, n_movies=20, n_ratings=500, seed=5)
+        b = generate_movielens_like(n_users=30, n_movies=20, n_ratings=500, seed=5)
+        assert a.tensor.allclose(b.tensor)
+
+    def test_ratings_capped_by_capacity(self):
+        dataset = generate_movielens_like(
+            n_users=3, n_movies=3, n_years=2, n_hours=2, n_ratings=10_000, seed=1
+        )
+        assert dataset.tensor.nnz <= 3 * 3 * 2 * 2
+
+
+class TestSweeps:
+    def test_order_sweep_progression(self):
+        sweep = order_sweep(orders=(3, 4, 5))
+        assert sweep.attribute == "order"
+        assert [len(w.shape) for w in sweep.workloads] == [3, 4, 5]
+        assert sweep.names() == ["order=3", "order=4", "order=5"]
+
+    def test_dimensionality_sweep_nnz_scaling(self):
+        sweep = dimensionality_sweep(dims=(100, 1000), nnz_per_dim=10)
+        assert [w.nnz for w in sweep.workloads] == [1000, 10_000]
+
+    def test_nnz_sweep(self):
+        sweep = nnz_sweep(nnzs=(100, 200), dimensionality=1000)
+        assert [w.nnz for w in sweep.workloads] == [100, 200]
+        assert all(w.shape == (1000, 1000, 1000) for w in sweep.workloads)
+
+    def test_rank_sweep(self):
+        sweep = rank_sweep(ranks=(3, 5), dimensionality=100, nnz=500)
+        assert [w.ranks[0] for w in sweep.workloads] == [3, 5]
+
+    def test_workload_build_matches_description(self):
+        sweep = order_sweep(orders=(3,), dimensionality=20, nnz=100)
+        tensor = sweep.workloads[0].build()
+        assert tensor.shape == (20, 20, 20)
+        assert tensor.nnz == 100
+
+
+class TestRealworldStandins:
+    def test_contains_all_four_datasets(self):
+        datasets = realworld_standins(scale=0.1, seed=1)
+        assert set(datasets) == {"MovieLens", "Yahoo-music", "Video", "Image"}
+
+    def test_ranks_match_tensor_order(self):
+        datasets = realworld_standins(scale=0.1, seed=1)
+        for tensor, ranks in datasets.values():
+            assert len(ranks) == tensor.order
+
+    def test_scale_shrinks_tensors(self):
+        small = realworld_standins(scale=0.1, seed=1)
+        large = realworld_standins(scale=0.3, seed=1)
+        assert small["MovieLens"][0].shape[0] < large["MovieLens"][0].shape[0]

@@ -1,0 +1,92 @@
+"""Tests for the synthetic tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import block_structured_tensor, planted_tucker_tensor, random_sparse_tensor
+from repro.data.synthetic import random_indices
+from repro.exceptions import ShapeError
+from repro.tensor import sparse_reconstruct
+
+
+class TestRandomIndices:
+    def test_distinct_and_in_range(self, rng):
+        idx = random_indices((10, 12, 14), 200, rng)
+        assert idx.shape == (200, 3)
+        assert len({tuple(row) for row in idx}) == 200
+        assert np.all(idx < np.array([10, 12, 14]))
+
+    def test_large_grid_path(self, rng):
+        idx = random_indices((10_000, 10_000, 10_000), 500, rng)
+        assert idx.shape == (500, 3)
+        assert len({tuple(row) for row in idx}) == 500
+
+    def test_rejects_too_many_entries(self, rng):
+        with pytest.raises(ShapeError):
+            random_indices((2, 2), 5, rng)
+
+
+class TestRandomSparseTensor:
+    def test_shape_nnz_and_value_range(self):
+        tensor = random_sparse_tensor((20, 20, 20), 500, seed=1)
+        assert tensor.shape == (20, 20, 20)
+        assert tensor.nnz == 500
+        assert tensor.values.min() >= 0.0
+        assert tensor.values.max() <= 1.0
+
+    def test_seed_reproducibility(self):
+        first = random_sparse_tensor((15, 15), 100, seed=9)
+        second = random_sparse_tensor((15, 15), 100, seed=9)
+        assert first.allclose(second)
+
+    def test_custom_value_range(self):
+        tensor = random_sparse_tensor((10, 10), 50, seed=0, value_low=2.0, value_high=3.0)
+        assert tensor.values.min() >= 2.0
+        assert tensor.values.max() <= 3.0
+
+
+class TestPlantedTuckerTensor:
+    def test_noiseless_values_match_model(self):
+        planted = planted_tucker_tensor((10, 9, 8), (2, 2, 2), 300, noise_level=0.0, seed=4)
+        predictions = sparse_reconstruct(
+            planted.tensor, planted.core, list(planted.factors)
+        )
+        np.testing.assert_allclose(predictions, planted.tensor.values, atol=1e-12)
+
+    def test_noise_level_recorded_and_applied(self):
+        clean = planted_tucker_tensor((10, 9, 8), (2, 2, 2), 300, noise_level=0.0, seed=4)
+        noisy = planted_tucker_tensor((10, 9, 8), (2, 2, 2), 300, noise_level=0.5, seed=4)
+        assert noisy.noise_level == 0.5
+        assert not np.allclose(clean.tensor.values, noisy.tensor.values)
+
+    def test_factor_and_core_shapes(self):
+        planted = planted_tucker_tensor((10, 9, 8, 7), (2, 3, 2, 2), 200, seed=1)
+        assert planted.core.shape == (2, 3, 2, 2)
+        assert [f.shape for f in planted.factors] == [(10, 2), (9, 3), (8, 2), (7, 2)]
+
+    def test_rank_exceeding_dimension_rejected(self):
+        with pytest.raises(ShapeError):
+            planted_tucker_tensor((3, 3), (5, 2), 5)
+
+
+class TestBlockStructuredTensor:
+    def test_assignments_cover_all_indices(self):
+        tensor, assignments = block_structured_tensor((20, 22, 6), 3, 800, seed=2)
+        assert tensor.nnz == 800
+        assert [a.shape[0] for a in assignments] == [20, 22, 6]
+        for assignment in assignments:
+            assert assignment.max() < 3
+
+    def test_same_block_entries_have_higher_values(self):
+        tensor, assignments = block_structured_tensor(
+            (30, 30, 30), 2, 3000, within_block_value=1.0, noise_level=0.0, seed=3
+        )
+        groups = np.stack(
+            [assignments[m][tensor.indices[:, m]] for m in range(3)], axis=1
+        )
+        same = np.all(groups == groups[:, :1], axis=1)
+        assert tensor.values[same].mean() > tensor.values[~same].mean()
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ShapeError):
+            block_structured_tensor((10, 10), 0, 20)

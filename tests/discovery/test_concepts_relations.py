@@ -1,0 +1,110 @@
+"""Tests for concept and relation discovery on Tucker results."""
+
+import numpy as np
+import pytest
+
+from repro.core import PTucker, PTuckerConfig, TuckerResult
+from repro.data import block_structured_tensor, generate_movielens_like, movie_titles
+from repro.discovery import (
+    concept_alignment,
+    discover_concepts,
+    discover_relations,
+    relation_table,
+)
+
+
+@pytest.fixture(scope="module")
+def movielens_result():
+    dataset = generate_movielens_like(
+        n_users=80, n_movies=60, n_years=6, n_hours=12, n_ratings=6000, seed=3
+    )
+    config = PTuckerConfig(ranks=(4, 4, 3, 3), max_iterations=5, seed=0)
+    result = PTucker(config).fit(dataset.tensor)
+    return dataset, result
+
+
+class TestConceptDiscovery:
+    def test_every_object_gets_a_concept(self, movielens_result):
+        dataset, result = movielens_result
+        discovery = discover_concepts(result, mode=1, n_concepts=4, seed=0)
+        total = sum(c.size for c in discovery.concepts)
+        assert total == dataset.tensor.shape[1]
+
+    def test_representatives_belong_to_concept(self, movielens_result):
+        _, result = movielens_result
+        discovery = discover_concepts(result, mode=1, n_concepts=4, seed=0)
+        for concept in discovery.concepts:
+            members = set(concept.member_indices.tolist())
+            for rep in concept.representative_indices:
+                assert int(rep) in members
+
+    def test_describe_uses_labels(self, movielens_result):
+        dataset, result = movielens_result
+        discovery = discover_concepts(result, mode=1, n_concepts=3, seed=0)
+        titles = movie_titles(dataset)
+        text = discovery.concepts[0].describe(titles, top=2)
+        assert "Movie-" in text
+
+    def test_as_table_rows(self, movielens_result):
+        _, result = movielens_result
+        discovery = discover_concepts(result, mode=1, n_concepts=3, seed=0)
+        rows = discovery.as_table(top=2)
+        assert all({"concept", "index", "attribute"} <= set(r) for r in rows)
+
+    def test_concept_of(self, movielens_result):
+        _, result = movielens_result
+        discovery = discover_concepts(result, mode=1, n_concepts=3, seed=0)
+        concept = discovery.concept_of(0)
+        assert 0 in discovery.concepts[concept].member_indices
+
+    def test_block_structure_recovered(self):
+        """Factor-row clustering should align with planted co-cluster blocks."""
+        tensor, assignments = block_structured_tensor(
+            shape=(40, 40, 8), n_blocks=3, nnz=4000, seed=5
+        )
+        config = PTuckerConfig(ranks=(3, 3, 3), max_iterations=6, seed=0)
+        result = PTucker(config).fit(tensor)
+        discovery = discover_concepts(result, mode=0, n_concepts=3, seed=0)
+        purity = concept_alignment(discovery, assignments[0])
+        assert purity > 0.5  # markedly better than the 1/3 chance level
+
+
+class TestRelationDiscovery:
+    def test_relations_sorted_by_strength(self, movielens_result):
+        _, result = movielens_result
+        relations = discover_relations(result, n_relations=5)
+        strengths = [abs(r.strength) for r in relations]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_core_index_points_to_reported_strength(self, movielens_result):
+        _, result = movielens_result
+        relations = discover_relations(result, n_relations=3)
+        for relation in relations:
+            assert result.core[relation.core_index] == pytest.approx(relation.strength)
+
+    def test_top_attributes_are_valid_indices(self, movielens_result):
+        dataset, result = movielens_result
+        relations = discover_relations(result, n_relations=2, modes=(2, 3))
+        for relation in relations:
+            for mode, attributes in relation.top_attributes.items():
+                assert attributes.max() < dataset.tensor.shape[mode]
+
+    def test_requested_modes_only(self, movielens_result):
+        _, result = movielens_result
+        relations = discover_relations(result, n_relations=1, modes=(1, 2))
+        assert set(relations[0].top_attributes) == {1, 2}
+
+    def test_n_relations_capped_by_core_size(self, rng):
+        result = TuckerResult(
+            core=rng.uniform(size=(2, 2)),
+            factors=[rng.uniform(size=(5, 2)), rng.uniform(size=(4, 2))],
+        )
+        relations = discover_relations(result, n_relations=100)
+        assert len(relations) == 4
+
+    def test_relation_table_and_describe(self, movielens_result):
+        _, result = movielens_result
+        relations = discover_relations(result, n_relations=2, modes=(2, 3))
+        rows = relation_table(relations, mode_names=("user", "movie", "year", "hour"))
+        assert len(rows) == 2
+        assert "year" in rows[0]["details"]

@@ -1,0 +1,91 @@
+"""Tests for the from-scratch K-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.discovery import cluster_purity, kmeans
+
+
+@pytest.fixture
+def three_blobs(rng):
+    """Three well-separated Gaussian blobs with known labels."""
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = []
+    labels = []
+    for label, center in enumerate(centers):
+        points.append(center + rng.normal(0, 0.4, size=(40, 2)))
+        labels.extend([label] * 40)
+    return np.vstack(points), np.asarray(labels)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, three_blobs):
+        data, truth = three_blobs
+        result = kmeans(data, 3, seed=0)
+        assert cluster_purity(result.labels, truth) > 0.95
+
+    def test_label_range_and_shapes(self, three_blobs):
+        data, _ = three_blobs
+        result = kmeans(data, 3, seed=0)
+        assert result.labels.shape == (data.shape[0],)
+        assert result.centroids.shape == (3, 2)
+        assert set(np.unique(result.labels)) <= {0, 1, 2}
+
+    def test_inertia_decreases_with_more_clusters(self, three_blobs):
+        data, _ = three_blobs
+        few = kmeans(data, 2, seed=0)
+        many = kmeans(data, 6, seed=0)
+        assert many.inertia <= few.inertia
+
+    def test_single_cluster_centroid_is_mean(self, three_blobs):
+        data, _ = three_blobs
+        result = kmeans(data, 1, seed=0)
+        np.testing.assert_allclose(result.centroids[0], data.mean(axis=0), atol=1e-8)
+        assert np.all(result.labels == 0)
+
+    def test_deterministic_given_seed(self, three_blobs):
+        data, _ = three_blobs
+        first = kmeans(data, 3, seed=7)
+        second = kmeans(data, 3, seed=7)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_cluster_members_and_sizes(self, three_blobs):
+        data, _ = three_blobs
+        result = kmeans(data, 3, seed=0)
+        sizes = result.cluster_sizes()
+        assert sizes.sum() == data.shape[0]
+        for cluster in range(3):
+            assert result.cluster_members(cluster).shape[0] == sizes[cluster]
+
+    def test_rejects_more_clusters_than_rows(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 5)
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0)
+
+    def test_rejects_non_2d_data(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(10), 2)
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((20, 3))
+        result = kmeans(data, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+class TestClusterPurity:
+    def test_perfect_purity(self):
+        labels = np.array([0, 0, 1, 1])
+        truth = np.array([1, 1, 0, 0])
+        assert cluster_purity(labels, truth) == 1.0
+
+    def test_random_assignment_lower_purity(self):
+        labels = np.array([0, 1, 0, 1])
+        truth = np.array([0, 0, 1, 1])
+        assert cluster_purity(labels, truth) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cluster_purity(np.zeros(3, dtype=int), np.zeros(4, dtype=int))

@@ -1,0 +1,68 @@
+"""Tests for the experiments CLI and small-scale runs of the heavier experiments."""
+
+import pytest
+
+from repro.experiments import figure6, figure7, figure11
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.summary import accuracy_summary, speedup_summary
+
+
+class TestExperimentsCli:
+    def test_runs_named_experiment(self, capsys):
+        assert experiments_main(["figure5"]) == 0
+        output = capsys.readouterr().out
+        assert "figure5" in output
+        assert "cumulative_error_share" in output
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main(["figure99"])
+
+
+class TestFigure6SmallMode:
+    def test_small_sweep_produces_rows_for_every_method(self):
+        result = figure6.run(
+            panels=("order",),
+            methods=("P-Tucker", "S-HOT"),
+            small=True,
+            max_iterations=1,
+        )
+        algorithms = {row["algorithm"] for row in result.rows}
+        assert algorithms == {"P-Tucker", "S-HOT"}
+        assert len(result.rows) == 2 * 3  # two methods x three sweep points
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(KeyError):
+            figure6.run(panels=("time",), small=True)
+
+    def test_speedup_summary_from_small_run(self):
+        result = figure6.run(
+            panels=("nnz",),
+            methods=("P-Tucker", "Tucker-CSF", "S-HOT"),
+            small=True,
+            max_iterations=1,
+        )
+        summary = speedup_summary(result)
+        assert summary["count"] == 3
+        assert summary["max"] >= summary["min"] > 0
+
+
+class TestRealWorldExperimentsTiny:
+    def test_figure7_tiny_scale(self):
+        result = figure7.run(
+            methods=("P-Tucker", "S-HOT"), scale=0.08, max_iterations=1
+        )
+        datasets = {row["dataset"] for row in result.rows}
+        assert datasets == {"MovieLens", "Yahoo-music", "Video", "Image"}
+        ptucker_rows = [r for r in result.rows if r["algorithm"] == "P-Tucker"]
+        assert all(not r["oom"] for r in ptucker_rows)
+
+    def test_figure11_tiny_scale_accuracy_ordering(self):
+        result = figure11.run(
+            methods=("P-Tucker", "S-HOT"), scale=0.08, max_iterations=2
+        )
+        summary = accuracy_summary(result)
+        # P-Tucker should be at least as accurate as the zero-fill baseline on
+        # most datasets; the summary max must show a clear win somewhere.
+        assert summary["count"] >= 1
+        assert summary["max"] > 1.0

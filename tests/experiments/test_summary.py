@@ -1,0 +1,77 @@
+"""Tests for the headline-claim summary helpers."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.summary import accuracy_summary, headline, speedup_summary
+
+
+def _speed_result():
+    result = ExperimentResult(name="speed")
+    result.rows = [
+        {"sweep": "nnz", "point": "a", "algorithm": "P-Tucker", "sec/iter": 1.0, "oom": False},
+        {"sweep": "nnz", "point": "a", "algorithm": "S-HOT", "sec/iter": 3.0, "oom": False},
+        {"sweep": "nnz", "point": "a", "algorithm": "Tucker-wOpt", "sec/iter": 50.0, "oom": False},
+        {"sweep": "nnz", "point": "b", "algorithm": "P-Tucker", "sec/iter": 2.0, "oom": False},
+        {"sweep": "nnz", "point": "b", "algorithm": "S-HOT", "sec/iter": 4.0, "oom": False},
+        {"sweep": "nnz", "point": "b", "algorithm": "Tucker-wOpt", "sec/iter": 1.0, "oom": True},
+    ]
+    return result
+
+
+def _accuracy_result():
+    result = ExperimentResult(name="accuracy")
+    result.rows = [
+        {"dataset": "ml", "algorithm": "P-Tucker", "test_rmse": 0.1, "oom": False},
+        {"dataset": "ml", "algorithm": "S-HOT", "test_rmse": 0.4, "oom": False},
+        {"dataset": "ya", "algorithm": "P-Tucker", "test_rmse": 0.2, "oom": False},
+        {"dataset": "ya", "algorithm": "S-HOT", "test_rmse": 0.3, "oom": False},
+    ]
+    return result
+
+
+class TestSpeedupSummary:
+    def test_ratio_uses_best_competitor(self):
+        summary = speedup_summary(_speed_result())
+        # point a: best competitor 3.0 / P-Tucker 1.0 = 3; point b: 4/2 = 2.
+        assert summary["min"] == pytest.approx(2.0)
+        assert summary["max"] == pytest.approx(3.0)
+        assert summary["count"] == 2
+
+    def test_oom_competitors_excluded(self):
+        summary = speedup_summary(_speed_result())
+        # The O.O.M. Tucker-wOpt row at point b (1.0s) must not be the reference.
+        assert summary["min"] == pytest.approx(2.0)
+
+    def test_empty_rows(self):
+        assert speedup_summary(ExperimentResult(name="x"))["count"] == 0
+
+    def test_missing_target_group_skipped(self):
+        result = ExperimentResult(name="x")
+        result.rows = [
+            {"sweep": "s", "point": "a", "algorithm": "S-HOT", "sec/iter": 1.0, "oom": False}
+        ]
+        assert speedup_summary(result)["count"] == 0
+
+    def test_nan_metric_skipped(self):
+        result = _speed_result()
+        result.rows[0]["sec/iter"] = float("nan")
+        summary = speedup_summary(result)
+        assert summary["count"] == 1
+
+
+class TestAccuracyAndHeadline:
+    def test_accuracy_ratios(self):
+        summary = accuracy_summary(_accuracy_result())
+        assert summary["min"] == pytest.approx(1.5)
+        assert summary["max"] == pytest.approx(4.0)
+
+    def test_headline_combines_both(self):
+        out = headline([_speed_result()], [_accuracy_result()])
+        assert out["speedup"]["max"] == pytest.approx(3.0)
+        assert out["error_reduction"]["max"] == pytest.approx(4.0)
+        assert out["speedup"]["min"] >= 1.0
+
+    def test_headline_with_no_data(self):
+        out = headline([], [])
+        assert out["speedup"] == {"min": 1.0, "max": 1.0}

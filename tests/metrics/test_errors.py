@@ -1,0 +1,84 @@
+"""Tests for the accuracy metrics (Eq. 5, Eq. 6, RMSE, fit)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    fit,
+    reconstruction_error,
+    regularized_loss,
+    residuals,
+    rmse_of_values,
+)
+from repro.metrics.errors import test_rmse as rmse_on_tensor
+from repro.tensor import SparseTensor, sparse_reconstruct, tucker_reconstruct
+
+
+@pytest.fixture
+def model_and_tensor(rng):
+    core = rng.uniform(size=(2, 2, 2))
+    factors = [rng.uniform(size=(d, 2)) for d in (6, 5, 4)]
+    dense = tucker_reconstruct(core, factors)
+    tensor = SparseTensor.from_dense(dense, keep_zeros=True)
+    return tensor, core, factors
+
+
+class TestReconstructionError:
+    def test_zero_for_exact_model(self, model_and_tensor):
+        tensor, core, factors = model_and_tensor
+        assert reconstruction_error(tensor, core, factors) == pytest.approx(0.0, abs=1e-10)
+
+    def test_matches_manual_formula(self, model_and_tensor, rng):
+        tensor, core, factors = model_and_tensor
+        noisy = tensor.with_values(tensor.values + rng.normal(0, 0.1, tensor.nnz))
+        predictions = sparse_reconstruct(noisy, core, factors)
+        expected = np.sqrt(np.sum((noisy.values - predictions) ** 2))
+        assert reconstruction_error(noisy, core, factors) == pytest.approx(expected)
+
+    def test_residuals_alignment(self, model_and_tensor, rng):
+        tensor, core, factors = model_and_tensor
+        shift = rng.normal(0, 1.0, tensor.nnz)
+        shifted = tensor.with_values(tensor.values + shift)
+        np.testing.assert_allclose(residuals(shifted, core, factors), shift, atol=1e-10)
+
+
+class TestRmseAndFit:
+    def test_rmse_scales_with_noise(self, model_and_tensor, rng):
+        tensor, core, factors = model_and_tensor
+        small = tensor.with_values(tensor.values + rng.normal(0, 0.01, tensor.nnz))
+        large = tensor.with_values(tensor.values + rng.normal(0, 0.5, tensor.nnz))
+        assert rmse_on_tensor(small, core, factors) < rmse_on_tensor(large, core, factors)
+
+    def test_rmse_empty_tensor_is_zero(self, model_and_tensor):
+        _, core, factors = model_and_tensor
+        empty = SparseTensor.from_entries([], shape=(6, 5, 4))
+        assert rmse_on_tensor(empty, core, factors) == 0.0
+
+    def test_fit_is_one_for_exact_model(self, model_and_tensor):
+        tensor, core, factors = model_and_tensor
+        assert fit(tensor, core, factors) == pytest.approx(1.0, abs=1e-9)
+
+    def test_rmse_of_values(self):
+        assert rmse_of_values([1.0, 2.0], [1.0, 4.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_rmse_of_values_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse_of_values([1.0], [1.0, 2.0])
+
+    def test_rmse_of_values_empty(self):
+        assert rmse_of_values([], []) == 0.0
+
+
+class TestRegularizedLoss:
+    def test_equals_squared_error_plus_penalty(self, model_and_tensor, rng):
+        tensor, core, factors = model_and_tensor
+        noisy = tensor.with_values(tensor.values + rng.normal(0, 0.1, tensor.nnz))
+        lam = 0.3
+        loss = regularized_loss(noisy, core, factors, lam)
+        squared = reconstruction_error(noisy, core, factors) ** 2
+        penalty = lam * sum(np.sum(f**2) for f in factors)
+        assert loss == pytest.approx(squared + penalty)
+
+    def test_zero_regularization(self, model_and_tensor):
+        tensor, core, factors = model_and_tensor
+        assert regularized_loss(tensor, core, factors, 0.0) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,53 @@
+"""Tests for the timing helpers."""
+
+import time
+
+import pytest
+
+from repro.metrics import IterationTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_by_label(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            time.sleep(0.01)
+        with watch.measure("a"):
+            time.sleep(0.01)
+        with watch.measure("b"):
+            pass
+        assert watch.counts["a"] == 2
+        assert watch.durations["a"] >= 0.02
+        assert watch.total() >= watch.durations["a"]
+
+    def test_mean_unknown_label_is_zero(self):
+        assert Stopwatch().mean("missing") == 0.0
+
+    def test_mean(self):
+        watch = Stopwatch()
+        with watch.measure("x"):
+            time.sleep(0.01)
+        assert watch.mean("x") == pytest.approx(watch.durations["x"])
+
+    def test_records_time_even_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.measure("boom"):
+                raise RuntimeError("fail")
+        assert watch.counts["boom"] == 1
+
+
+class TestIterationTimer:
+    def test_mean_and_total(self):
+        timer = IterationTimer()
+        for _ in range(3):
+            with timer.iteration():
+                time.sleep(0.005)
+        assert len(timer.seconds) == 3
+        assert timer.total_seconds >= 0.015
+        assert timer.mean_seconds == pytest.approx(timer.total_seconds / 3)
+
+    def test_empty_timer(self):
+        timer = IterationTimer()
+        assert timer.mean_seconds == 0.0
+        assert timer.total_seconds == 0.0

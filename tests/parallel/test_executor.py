@@ -1,0 +1,38 @@
+"""Tests for the process-pool parallel row updates."""
+
+import numpy as np
+import pytest
+
+from repro.core import PTuckerConfig
+from repro.core.core_tensor import initialize_core, initialize_factors
+from repro.core.row_update import update_factor_mode
+from repro.parallel import parallel_update_factor_mode
+
+
+@pytest.mark.parametrize("mode", [0, 1, 2])
+def test_parallel_update_matches_serial(planted_small, rng, mode):
+    """Row independence (Section III-B): parallel and serial updates agree."""
+    tensor = planted_small.tensor
+    generator = np.random.default_rng(0)
+    factors_serial = initialize_factors(tensor.shape, (3, 3, 3), generator)
+    core = initialize_core((3, 3, 3), np.random.default_rng(1))
+    factors_parallel = [f.copy() for f in factors_serial]
+
+    update_factor_mode(tensor, factors_serial, core, mode, regularization=0.01)
+    parallel_update_factor_mode(
+        tensor, factors_parallel, core, mode, regularization=0.01, n_workers=2
+    )
+    np.testing.assert_allclose(factors_parallel[mode], factors_serial[mode], atol=1e-8)
+
+
+def test_parallel_update_with_static_scheduling(planted_small):
+    tensor = planted_small.tensor
+    generator = np.random.default_rng(0)
+    factors = initialize_factors(tensor.shape, (3, 3, 3), generator)
+    reference = [f.copy() for f in factors]
+    core = initialize_core((3, 3, 3), np.random.default_rng(1))
+    update_factor_mode(tensor, reference, core, 0, regularization=0.01)
+    parallel_update_factor_mode(
+        tensor, factors, core, 0, regularization=0.01, n_workers=3, scheduling="static"
+    )
+    np.testing.assert_allclose(factors[0], reference[0], atol=1e-8)

@@ -1,0 +1,91 @@
+"""Tests for the row-partitioning policies."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    dynamic_partition,
+    longest_processing_time_partition,
+    partition_rows,
+    split_evenly,
+    static_partition,
+)
+
+
+@pytest.fixture
+def skewed_costs(rng):
+    """A heavy-tailed cost distribution like real |Omega_in| counts."""
+    return rng.pareto(1.5, size=200) + 1.0
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("policy", ["static", "dynamic", "lpt"])
+    def test_every_item_assigned_exactly_once(self, skewed_costs, policy):
+        partition = partition_rows(skewed_costs, 4, policy)
+        assert partition.assignments.shape[0] == skewed_costs.shape[0]
+        assert partition.assignments.min() >= 0
+        assert partition.assignments.max() < 4
+
+    @pytest.mark.parametrize("policy", ["static", "dynamic", "lpt"])
+    def test_loads_sum_to_total_cost(self, skewed_costs, policy):
+        partition = partition_rows(skewed_costs, 4, policy)
+        assert partition.thread_loads().sum() == pytest.approx(skewed_costs.sum())
+
+    @pytest.mark.parametrize("policy", ["static", "dynamic", "lpt"])
+    def test_single_thread_makespan_is_total(self, skewed_costs, policy):
+        partition = partition_rows(skewed_costs, 1, policy)
+        assert partition.makespan() == pytest.approx(skewed_costs.sum())
+
+    def test_thread_items_cover_everything(self, skewed_costs):
+        partition = dynamic_partition(skewed_costs, 3)
+        collected = np.concatenate(
+            [partition.thread_items(t) for t in range(3)]
+        )
+        assert np.array_equal(np.sort(collected), np.arange(skewed_costs.shape[0]))
+
+    def test_unknown_policy_raises(self, skewed_costs):
+        with pytest.raises(ValueError):
+            partition_rows(skewed_costs, 2, "guided")
+
+
+class TestBalanceQuality:
+    def test_dynamic_beats_static_on_skewed_costs(self, skewed_costs):
+        static = static_partition(skewed_costs, 8)
+        dynamic = dynamic_partition(skewed_costs, 8)
+        assert dynamic.makespan() <= static.makespan()
+
+    def test_lpt_beats_or_matches_dynamic(self, skewed_costs):
+        dynamic = dynamic_partition(skewed_costs, 8)
+        lpt = longest_processing_time_partition(skewed_costs, 8)
+        assert lpt.makespan() <= dynamic.makespan() * 1.05
+
+    def test_uniform_costs_balance_perfectly_with_static(self):
+        costs = np.ones(100)
+        partition = static_partition(costs, 4)
+        assert partition.imbalance() == pytest.approx(1.0)
+
+    def test_makespan_lower_bound(self, skewed_costs):
+        """No partition can beat max(mean load, max single item)."""
+        for policy in ("static", "dynamic", "lpt"):
+            partition = partition_rows(skewed_costs, 4, policy)
+            lower = max(skewed_costs.sum() / 4.0, skewed_costs.max())
+            assert partition.makespan() >= lower - 1e-9
+
+    def test_empty_cost_list(self):
+        partition = dynamic_partition([], 4)
+        assert partition.makespan() == 0.0
+        assert partition.imbalance() == 1.0
+
+
+class TestSplitEvenly:
+    def test_ranges_cover_without_overlap(self):
+        ranges = split_evenly(103, 4)
+        covered = []
+        for start, stop in ranges:
+            covered.extend(range(start, stop))
+        assert covered == list(range(103))
+
+    def test_more_threads_than_items(self):
+        ranges = split_evenly(2, 5)
+        total = sum(stop - start for start, stop in ranges)
+        assert total == 2

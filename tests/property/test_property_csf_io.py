@@ -1,0 +1,68 @@
+"""Property-based tests for the CSF structure and the text I/O round-trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import CsfTensor, SparseTensor, load_text, save_text, sparse_ttm_chain
+
+
+def _random_sparse(seed: int, order: int, max_dim: int = 8, max_nnz: int = 40):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(d) for d in rng.integers(2, max_dim + 1, size=order))
+    nnz = int(rng.integers(1, max_nnz))
+    indices = np.stack([rng.integers(0, d, nnz) for d in shape], axis=1)
+    values = rng.uniform(-2.0, 2.0, nnz)
+    return SparseTensor(indices, values, shape).deduplicate()
+
+
+@given(st.integers(0, 10_000), st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_csf_roundtrip_preserves_tensor(seed, order):
+    tensor = _random_sparse(seed, order)
+    csf = CsfTensor.from_sparse(tensor)
+    assert csf.nnz == tensor.nnz
+    assert csf.to_sparse().allclose(tensor)
+
+
+@given(st.integers(0, 10_000), st.integers(2, 3))
+@settings(max_examples=25, deadline=None)
+def test_csf_ttm_matches_coo_ttm(seed, order):
+    tensor = _random_sparse(seed, order)
+    rng = np.random.default_rng(seed + 1)
+    factors = [rng.uniform(size=(dim, 2)) for dim in tensor.shape]
+    csf = CsfTensor.from_sparse(tensor)
+    for mode in range(order):
+        np.testing.assert_allclose(
+            csf.ttm_chain(factors, mode),
+            sparse_ttm_chain(tensor, factors, mode),
+            atol=1e-9,
+        )
+
+
+@given(st.integers(0, 10_000), st.integers(2, 4))
+@settings(max_examples=30, deadline=None)
+def test_csf_node_count_never_exceeds_order_times_nnz(seed, order):
+    """Compression invariant: at most order*nnz nodes, at least order + nnz - 1."""
+    tensor = _random_sparse(seed, order)
+    csf = CsfTensor.from_sparse(tensor)
+    assert csf.n_nodes() <= order * tensor.nnz
+    if tensor.nnz:
+        assert csf.n_nodes() >= tensor.nnz  # the leaf level alone has nnz nodes
+
+
+@given(st.integers(0, 10_000), st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_text_io_roundtrip(seed, order):
+    import os
+    import tempfile
+
+    tensor = _random_sparse(seed, order)
+    handle, path = tempfile.mkstemp(suffix=".tns")
+    os.close(handle)
+    try:
+        save_text(tensor, path)
+        loaded = load_text(path, shape=tensor.shape)
+    finally:
+        os.unlink(path)
+    assert loaded.allclose(tensor, atol=1e-9)

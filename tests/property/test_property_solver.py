@@ -1,0 +1,95 @@
+"""Property-based tests on the solver invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PTucker, PTuckerConfig, orthogonalize
+from repro.core.row_update import brute_force_row_update, update_factor_mode
+from repro.data import random_sparse_tensor
+from repro.metrics.errors import reconstruction_error, regularized_loss
+from repro.tensor import SparseTensor, sparse_reconstruct
+
+
+def _random_problem(seed: int, order: int = 3):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(d) for d in rng.integers(4, 9, size=order))
+    ranks = tuple(int(r) for r in rng.integers(1, 4, size=order))
+    ranks = tuple(min(r, s) for r, s in zip(ranks, shape))
+    nnz = int(rng.integers(10, 40))
+    indices = np.stack([rng.integers(0, d, nnz) for d in shape], axis=1)
+    tensor = SparseTensor(indices, rng.uniform(0.1, 2.0, nnz), shape).deduplicate()
+    factors = [rng.uniform(0.1, 1.0, size=(d, r)) for d, r in zip(shape, ranks)]
+    core = rng.uniform(0.1, 1.0, size=ranks)
+    return tensor, factors, core
+
+
+@given(st.integers(0, 10_000), st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_row_update_never_increases_loss(seed, mode_choice):
+    """Each mode update is a block-coordinate minimisation (Theorem 1)."""
+    tensor, factors, core = _random_problem(seed)
+    mode = mode_choice % tensor.order
+    regularization = 0.05
+    before = regularized_loss(tensor, core, factors, regularization)
+    update_factor_mode(tensor, factors, core, mode, regularization)
+    after = regularized_loss(tensor, core, factors, regularization)
+    assert after <= before + 1e-8
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_vectorized_update_matches_bruteforce(seed):
+    """The batched kernel equals the paper's per-row formula on random problems."""
+    tensor, factors, core = _random_problem(seed)
+    mode = seed % tensor.order
+    regularization = 0.01
+    updated = [f.copy() for f in factors]
+    update_factor_mode(tensor, updated, core, mode, regularization)
+    rows = np.unique(tensor.indices[:, mode])
+    probe = rows[seed % rows.shape[0]]
+    expected = brute_force_row_update(
+        tensor, factors, core, mode, int(probe), regularization
+    )
+    np.testing.assert_allclose(updated[mode][probe], expected, atol=1e-7)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_orthogonalize_preserves_predictions(seed):
+    """QR + core update (Eqs. 7-8) never changes the model's predictions."""
+    tensor, factors, core = _random_problem(seed)
+    before = sparse_reconstruct(tensor, core, factors)
+    new_factors, new_core = orthogonalize(factors, core)
+    after = sparse_reconstruct(tensor, new_core, new_factors)
+    np.testing.assert_allclose(before, after, atol=1e-8)
+    for factor in new_factors:
+        gram = factor.T @ factor
+        np.testing.assert_allclose(gram, np.eye(factor.shape[1]), atol=1e-8)
+
+
+@given(st.integers(0, 10_000), st.integers(2, 4))
+@settings(max_examples=10, deadline=None)
+def test_full_solver_loss_monotone(seed, order):
+    """End-to-end Theorem 2 check across random shapes and orders."""
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(d) for d in rng.integers(5, 10, size=order))
+    cells = int(np.prod(shape))
+    nnz = min(int(rng.integers(30, 80)), cells // 2)
+    tensor = random_sparse_tensor(shape, nnz, seed=seed)
+    config = PTuckerConfig(
+        ranks=(2,), max_iterations=3, seed=seed, tolerance=0.0, orthogonalize=False
+    )
+    result = PTucker(config).fit(tensor)
+    losses = result.trace.losses
+    assert all(b <= a + 1e-6 for a, b in zip(losses, losses[1:]))
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_reconstruction_error_nonnegative_and_consistent(seed):
+    tensor, factors, core = _random_problem(seed)
+    error = reconstruction_error(tensor, core, factors)
+    assert error >= 0.0
+    # Squared error equals the zero-regularisation loss.
+    assert np.isclose(error**2, regularized_loss(tensor, core, factors, 0.0))

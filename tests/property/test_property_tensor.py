@@ -1,0 +1,120 @@
+"""Property-based tests on the tensor substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import (
+    SparseTensor,
+    fold,
+    mode_product,
+    sparse_reconstruct,
+    tucker_reconstruct,
+    unfold,
+)
+
+# Small dense tensors: 2-4 modes, each of length 1-4.
+dense_tensors = st.integers(2, 4).flatmap(
+    lambda order: hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(*[st.integers(1, 4) for _ in range(order)]),
+        elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False, width=32),
+    )
+)
+
+
+@given(dense_tensors, st.data())
+@settings(max_examples=60, deadline=None)
+def test_unfold_fold_roundtrip(tensor, data):
+    """fold(unfold(X, n), n) == X for every valid mode n."""
+    mode = data.draw(st.integers(0, tensor.ndim - 1))
+    matrix = unfold(tensor, mode)
+    np.testing.assert_allclose(fold(matrix, mode, tensor.shape), tensor, atol=1e-12)
+
+
+@given(dense_tensors, st.data())
+@settings(max_examples=60, deadline=None)
+def test_unfold_preserves_frobenius_norm(tensor, data):
+    mode = data.draw(st.integers(0, tensor.ndim - 1))
+    assert np.isclose(np.linalg.norm(unfold(tensor, mode)), np.linalg.norm(tensor))
+
+
+@given(dense_tensors, st.data())
+@settings(max_examples=40, deadline=None)
+def test_mode_product_with_identity_is_noop(tensor, data):
+    mode = data.draw(st.integers(0, tensor.ndim - 1))
+    identity = np.eye(tensor.shape[mode])
+    np.testing.assert_allclose(mode_product(tensor, identity, mode), tensor, atol=1e-12)
+
+
+@given(dense_tensors, st.data())
+@settings(max_examples=40, deadline=None)
+def test_mode_product_linearity(tensor, data):
+    """(A + B) x_n X == A x_n X + B x_n X."""
+    mode = data.draw(st.integers(0, tensor.ndim - 1))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+    a_matrix = rng.standard_normal((2, tensor.shape[mode]))
+    b_matrix = rng.standard_normal((2, tensor.shape[mode]))
+    combined = mode_product(tensor, a_matrix + b_matrix, mode)
+    separate = mode_product(tensor, a_matrix, mode) + mode_product(tensor, b_matrix, mode)
+    np.testing.assert_allclose(combined, separate, atol=1e-9)
+
+
+@given(dense_tensors)
+@settings(max_examples=50, deadline=None)
+def test_sparse_dense_roundtrip(tensor):
+    sparse = SparseTensor.from_dense(tensor, keep_zeros=True)
+    np.testing.assert_allclose(sparse.to_dense(), tensor, atol=1e-12)
+    assert sparse.nnz == tensor.size
+
+
+@given(dense_tensors, st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_sparse_reconstruct_matches_dense_model(tensor, seed):
+    """Eq. (4) evaluated sparsely equals the dense Tucker reconstruction."""
+    rng = np.random.default_rng(seed)
+    ranks = tuple(min(2, dim) for dim in tensor.shape)
+    core = rng.standard_normal(ranks)
+    factors = [rng.standard_normal((dim, rank)) for dim, rank in zip(tensor.shape, ranks)]
+    sparse = SparseTensor.from_dense(tensor, keep_zeros=True)
+    dense_model = tucker_reconstruct(core, factors)
+    predictions = sparse_reconstruct(sparse, core, factors)
+    np.testing.assert_allclose(
+        predictions, dense_model[tuple(sparse.indices.T)], atol=1e-9
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.floats(-10, 10, width=32)),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_deduplicate_sum_preserves_total(entries):
+    """Summing duplicates preserves the total mass of the tensor."""
+    tensor = SparseTensor.from_entries(
+        [((i, j), float(v)) for i, j, v in entries], shape=(6, 6)
+    )
+    deduplicated = tensor.deduplicate("sum")
+    assert np.isclose(deduplicated.values.sum(), tensor.values.sum())
+    assert deduplicated.nnz <= tensor.nnz
+
+
+@given(
+    st.integers(2, 30),
+    st.floats(0.1, 0.9),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_split_is_a_partition(nnz, fraction, seed):
+    rng = np.random.default_rng(seed)
+    indices = np.stack([rng.integers(0, 50, nnz), rng.integers(0, 50, nnz)], axis=1)
+    tensor = SparseTensor(indices, rng.uniform(size=nnz), (50, 50)).deduplicate()
+    train, test = tensor.split(fraction, rng=rng)
+    assert train.nnz + test.nnz == tensor.nnz
+    train_keys = set(map(tuple, train.indices))
+    test_keys = set(map(tuple, test.indices))
+    assert not train_keys & test_keys

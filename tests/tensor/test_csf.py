@@ -1,0 +1,73 @@
+"""Unit tests for the compressed sparse fiber (CSF) structure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor import CsfTensor, SparseTensor, sparse_ttm_chain
+
+
+class TestConstruction:
+    def test_roundtrip_preserves_entries(self, random_small):
+        csf = CsfTensor.from_sparse(random_small)
+        back = csf.to_sparse()
+        assert back.allclose(random_small)
+
+    def test_roundtrip_with_explicit_mode_order(self, random_small):
+        csf = CsfTensor.from_sparse(random_small, mode_order=(2, 0, 1))
+        assert csf.mode_order == (2, 0, 1)
+        assert csf.to_sparse().allclose(random_small)
+
+    def test_invalid_mode_order(self, random_small):
+        with pytest.raises(ShapeError):
+            CsfTensor.from_sparse(random_small, mode_order=(0, 0, 1))
+
+    def test_empty_tensor(self):
+        empty = SparseTensor.from_entries([], shape=(4, 4, 4))
+        csf = CsfTensor.from_sparse(empty)
+        assert csf.nnz == 0
+        assert csf.to_sparse().nnz == 0
+
+    def test_nnz_matches(self, random_small):
+        csf = CsfTensor.from_sparse(random_small)
+        assert csf.nnz == random_small.nnz
+
+    def test_compression_shares_prefixes(self):
+        # Entries sharing the same first-mode index must share a root node.
+        entries = [((0, j, k), 1.0) for j in range(3) for k in range(3)]
+        tensor = SparseTensor.from_entries(entries, shape=(2, 3, 3))
+        csf = CsfTensor.from_sparse(tensor, mode_order=(0, 1, 2))
+        assert csf.levels[0].fids.shape[0] == 1  # one root: index 0
+        assert csf.levels[1].fids.shape[0] == 3  # three children
+        assert csf.levels[2].fids.shape[0] == 9  # nine leaves
+        assert csf.n_nodes() == 13
+
+    def test_default_mode_order_longest_first(self):
+        tensor = SparseTensor.from_entries(
+            [((0, 0, 0), 1.0), ((1, 1, 1), 2.0)], shape=(2, 10, 5)
+        )
+        csf = CsfTensor.from_sparse(tensor)
+        assert csf.mode_order[0] == 1  # the longest mode goes to the root
+
+
+class TestTtmChain:
+    def test_matches_coo_ttm(self, random_small, rng):
+        factors = [rng.uniform(size=(dim, 3)) for dim in random_small.shape]
+        csf = CsfTensor.from_sparse(random_small)
+        for mode in range(3):
+            expected = sparse_ttm_chain(random_small, factors, mode)
+            got = csf.ttm_chain(factors, mode)
+            np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_empty_tensor_ttm(self, rng):
+        empty = SparseTensor.from_entries([], shape=(4, 5, 6))
+        factors = [rng.uniform(size=(dim, 2)) for dim in (4, 5, 6)]
+        csf = CsfTensor.from_sparse(empty)
+        result = csf.ttm_chain(factors, 0)
+        assert result.shape == (4, 4)
+        assert np.all(result == 0.0)
+
+    def test_wrong_factor_count(self, random_small, rng):
+        csf = CsfTensor.from_sparse(random_small)
+        with pytest.raises(ShapeError):
+            csf.ttm_chain([np.eye(3)], 0)

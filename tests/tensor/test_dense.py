@@ -1,0 +1,132 @@
+"""Unit tests for the dense tensor algebra (unfold, fold, n-mode product)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor import (
+    fold,
+    frobenius_norm,
+    kron_rows,
+    mode_product,
+    multi_mode_product,
+    tucker_reconstruct,
+    unfold,
+)
+
+
+class TestUnfoldFold:
+    def test_unfold_shapes(self, small_dense_tensor):
+        for mode in range(3):
+            matrix = unfold(small_dense_tensor, mode)
+            expected_cols = small_dense_tensor.size // small_dense_tensor.shape[mode]
+            assert matrix.shape == (small_dense_tensor.shape[mode], expected_cols)
+
+    def test_fold_inverts_unfold(self, small_dense_tensor):
+        for mode in range(3):
+            matrix = unfold(small_dense_tensor, mode)
+            back = fold(matrix, mode, small_dense_tensor.shape)
+            np.testing.assert_allclose(back, small_dense_tensor)
+
+    def test_unfold_known_values(self):
+        # 2x2x2 tensor: unfolding along mode 0 must keep mode-0 fibers as rows.
+        tensor = np.arange(8.0).reshape(2, 2, 2)
+        matrix = unfold(tensor, 0)
+        assert matrix.shape == (2, 4)
+        # Each row contains exactly the 4 entries with that mode-0 index.
+        np.testing.assert_allclose(np.sort(matrix[0]), np.sort(tensor[0].ravel()))
+        np.testing.assert_allclose(np.sort(matrix[1]), np.sort(tensor[1].ravel()))
+
+    def test_unfold_invalid_mode(self, small_dense_tensor):
+        with pytest.raises(ShapeError):
+            unfold(small_dense_tensor, 3)
+
+    def test_fold_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            fold(np.zeros((2, 5)), 0, (2, 2, 2))
+
+
+class TestModeProduct:
+    def test_matches_einsum_mode0(self, small_dense_tensor, rng):
+        matrix = rng.standard_normal((2, 4))
+        result = mode_product(small_dense_tensor, matrix, 0)
+        expected = np.einsum("ia,ajk->ijk", matrix, small_dense_tensor)
+        np.testing.assert_allclose(result, expected)
+
+    def test_matches_einsum_mode1(self, small_dense_tensor, rng):
+        matrix = rng.standard_normal((2, 5))
+        result = mode_product(small_dense_tensor, matrix, 1)
+        expected = np.einsum("jb,ibk->ijk", matrix, small_dense_tensor)
+        np.testing.assert_allclose(result, expected)
+
+    def test_matches_einsum_mode2(self, small_dense_tensor, rng):
+        matrix = rng.standard_normal((4, 3))
+        result = mode_product(small_dense_tensor, matrix, 2)
+        expected = np.einsum("kc,ijc->ijk", matrix, small_dense_tensor)
+        np.testing.assert_allclose(result, expected)
+
+    def test_different_modes_commute(self, small_dense_tensor, rng):
+        a_matrix = rng.standard_normal((2, 4))
+        b_matrix = rng.standard_normal((3, 5))
+        one = mode_product(mode_product(small_dense_tensor, a_matrix, 0), b_matrix, 1)
+        two = mode_product(mode_product(small_dense_tensor, b_matrix, 1), a_matrix, 0)
+        np.testing.assert_allclose(one, two)
+
+    def test_rejects_shape_mismatch(self, small_dense_tensor):
+        with pytest.raises(ShapeError):
+            mode_product(small_dense_tensor, np.zeros((2, 7)), 0)
+
+    def test_rejects_non_matrix(self, small_dense_tensor):
+        with pytest.raises(ShapeError):
+            mode_product(small_dense_tensor, np.zeros(4), 0)
+
+
+class TestMultiModeAndReconstruct:
+    def test_multi_mode_product_transpose(self, small_dense_tensor, rng):
+        factors = [rng.standard_normal((dim, 2)) for dim in small_dense_tensor.shape]
+        projected = multi_mode_product(small_dense_tensor, factors, transpose=True)
+        assert projected.shape == (2, 2, 2)
+
+    def test_multi_mode_skip(self, small_dense_tensor, rng):
+        factors = [rng.standard_normal((dim, 2)) for dim in small_dense_tensor.shape]
+        projected = multi_mode_product(
+            small_dense_tensor, factors, skip=1, transpose=True
+        )
+        assert projected.shape == (2, 5, 2)
+
+    def test_multi_mode_wrong_count(self, small_dense_tensor):
+        with pytest.raises(ShapeError):
+            multi_mode_product(small_dense_tensor, [np.eye(4)])
+
+    def test_tucker_reconstruct_identity(self, rng):
+        core = rng.standard_normal((2, 3, 2))
+        factors = [np.eye(2), np.eye(3), np.eye(2)]
+        np.testing.assert_allclose(tucker_reconstruct(core, factors), core)
+
+    def test_tucker_reconstruct_matches_manual(self, rng):
+        core = rng.standard_normal((2, 2, 2))
+        factors = [rng.standard_normal((d, 2)) for d in (3, 4, 5)]
+        expected = np.einsum(
+            "abc,ia,jb,kc->ijk", core, factors[0], factors[1], factors[2]
+        )
+        np.testing.assert_allclose(tucker_reconstruct(core, factors), expected)
+
+    def test_tucker_reconstruct_shape_mismatch(self, rng):
+        core = rng.standard_normal((2, 2))
+        with pytest.raises(ShapeError):
+            tucker_reconstruct(core, [np.zeros((3, 2)), np.zeros((3, 3))])
+
+    def test_frobenius_norm(self, small_dense_tensor):
+        assert frobenius_norm(small_dense_tensor) == pytest.approx(
+            np.linalg.norm(small_dense_tensor.ravel())
+        )
+
+    def test_kron_rows_matches_numpy(self, rng):
+        a_matrix = rng.standard_normal((3, 2))
+        b_matrix = rng.standard_normal((4, 3))
+        expected = np.kron(a_matrix[1], b_matrix[2])
+        np.testing.assert_allclose(kron_rows([a_matrix, b_matrix], [1, 2]), expected)
+
+    def test_kron_rows_count_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            kron_rows([np.eye(2)], [0, 1])

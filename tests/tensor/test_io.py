@@ -1,0 +1,91 @@
+"""Unit tests for tensor text and npz I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.tensor import SparseTensor, load_npz, load_text, save_npz, save_text
+
+
+class TestTextIO:
+    def test_roundtrip_one_based(self, random_small, tmp_path):
+        path = tmp_path / "tensor.tns"
+        save_text(random_small, path)
+        loaded = load_text(path, shape=random_small.shape)
+        assert loaded.allclose(random_small)
+
+    def test_roundtrip_zero_based(self, random_small, tmp_path):
+        path = tmp_path / "tensor0.tns"
+        save_text(random_small, path, one_based=False)
+        loaded = load_text(path, shape=random_small.shape, one_based=False)
+        assert loaded.allclose(random_small)
+
+    def test_shape_inference(self, tmp_path):
+        path = tmp_path / "small.tns"
+        path.write_text("1 1 1 2.0\n3 2 1 4.5\n")
+        loaded = load_text(path)
+        assert loaded.shape == (3, 2, 1)
+        assert loaded.get((2, 1, 0)) == 4.5
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "comments.tns"
+        path.write_text("# header\n\n1 1 1.5\n")
+        loaded = load_text(path)
+        assert loaded.nnz == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("1 1 1.0\n1 oops 2.0\n")
+        with pytest.raises(DataFormatError) as excinfo:
+            load_text(path)
+        assert ":2:" in str(excinfo.value)
+
+    def test_inconsistent_arity_raises(self, tmp_path):
+        path = tmp_path / "arity.tns"
+        path.write_text("1 1 1.0\n1 1 1 2.0\n")
+        with pytest.raises(DataFormatError):
+            load_text(path)
+
+    def test_too_few_fields_raises(self, tmp_path):
+        path = tmp_path / "short.tns"
+        path.write_text("1\n")
+        with pytest.raises(DataFormatError):
+            load_text(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.tns"
+        path.write_text("# nothing\n")
+        with pytest.raises(DataFormatError):
+            load_text(path)
+
+    def test_zero_index_with_one_based_raises(self, tmp_path):
+        path = tmp_path / "zero.tns"
+        path.write_text("0 1 1.0\n")
+        with pytest.raises(DataFormatError):
+            load_text(path)
+
+
+class TestNpzIO:
+    def test_roundtrip(self, random_small, tmp_path):
+        path = tmp_path / "tensor.npz"
+        save_npz(random_small, path)
+        loaded = load_npz(path)
+        assert loaded.allclose(random_small)
+        assert loaded.shape == random_small.shape
+
+    def test_missing_arrays_raise(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, indices=np.zeros((1, 2), dtype=np.int64))
+        with pytest.raises(DataFormatError):
+            load_npz(path)
+
+    def test_values_preserved_precisely(self, tmp_path):
+        tensor = SparseTensor(
+            np.array([[0, 0], [1, 1]]),
+            np.array([1.0 / 3.0, 2.0 / 7.0]),
+            (2, 2),
+        )
+        text_path = tmp_path / "precise.tns"
+        save_text(tensor, text_path)
+        loaded = load_text(text_path, shape=(2, 2))
+        np.testing.assert_allclose(np.sort(loaded.values), np.sort(tensor.values))

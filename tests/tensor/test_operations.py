@@ -1,0 +1,133 @@
+"""Unit tests for sparse tensor operations against dense references."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor import (
+    SparseTensor,
+    factor_rows_product,
+    sparse_gram_chain,
+    sparse_reconstruct,
+    sparse_ttm_chain,
+    sparse_unfold_columns,
+    tucker_reconstruct,
+    unfold,
+)
+from repro.tensor.operations import mode_lengths_product
+
+
+@pytest.fixture
+def dense_and_sparse(rng):
+    dense = rng.uniform(0.0, 1.0, size=(5, 4, 3))
+    sparse = SparseTensor.from_dense(dense, keep_zeros=True)
+    return dense, sparse
+
+
+@pytest.fixture
+def factors_334(rng):
+    return [rng.uniform(0.0, 1.0, size=(d, r)) for d, r in ((5, 3), (4, 3), (3, 2))]
+
+
+class TestUnfoldColumns:
+    def test_matches_dense_unfolding(self, dense_and_sparse):
+        dense, sparse = dense_and_sparse
+        for mode in range(3):
+            columns = sparse_unfold_columns(sparse, mode)
+            unfolded = unfold(dense, mode)
+            rows = sparse.indices[:, mode]
+            np.testing.assert_allclose(unfolded[rows, columns], sparse.values)
+
+    def test_columns_in_range(self, dense_and_sparse):
+        _, sparse = dense_and_sparse
+        for mode in range(3):
+            columns = sparse_unfold_columns(sparse, mode)
+            assert columns.max() < mode_lengths_product(sparse.shape, skip=mode)
+            assert columns.min() >= 0
+
+
+class TestFactorRowsProduct:
+    def test_all_modes_matches_kron(self, dense_and_sparse, factors_334):
+        _, sparse = dense_and_sparse
+        weights = factor_rows_product(sparse, factors_334, skip=-1)
+        # Check a few entries against the explicit Kronecker product.
+        for entry in (0, 7, 19):
+            idx = sparse.indices[entry]
+            expected = np.asarray([1.0])
+            for k in range(3):
+                expected = np.kron(expected, factors_334[k][idx[k]])
+            np.testing.assert_allclose(weights[entry], expected)
+
+    def test_skip_mode_width(self, dense_and_sparse, factors_334):
+        _, sparse = dense_and_sparse
+        weights = factor_rows_product(sparse, factors_334, skip=1)
+        assert weights.shape == (sparse.nnz, 3 * 2)
+
+    def test_entry_subset(self, dense_and_sparse, factors_334):
+        _, sparse = dense_and_sparse
+        rows = np.array([2, 5, 9])
+        subset = factor_rows_product(sparse, factors_334, skip=-1, entry_rows=rows)
+        full = factor_rows_product(sparse, factors_334, skip=-1)
+        np.testing.assert_allclose(subset, full[rows])
+
+    def test_wrong_factor_count(self, dense_and_sparse, factors_334):
+        _, sparse = dense_and_sparse
+        with pytest.raises(ShapeError):
+            factor_rows_product(sparse, factors_334[:2])
+
+
+class TestSparseReconstruct:
+    def test_matches_dense_tucker(self, dense_and_sparse, factors_334, rng):
+        _, sparse = dense_and_sparse
+        core = rng.uniform(0.0, 1.0, size=(3, 3, 2))
+        dense_model = tucker_reconstruct(core, factors_334)
+        predictions = sparse_reconstruct(sparse, core, factors_334)
+        expected = dense_model[tuple(sparse.indices.T)]
+        np.testing.assert_allclose(predictions, expected)
+
+    def test_zero_core_gives_zero(self, dense_and_sparse, factors_334):
+        _, sparse = dense_and_sparse
+        predictions = sparse_reconstruct(sparse, np.zeros((3, 3, 2)), factors_334)
+        assert np.all(predictions == 0.0)
+
+
+class TestTtmChain:
+    def test_matches_dense_projection(self, dense_and_sparse, factors_334):
+        dense, sparse = dense_and_sparse
+        for mode in range(3):
+            result = sparse_ttm_chain(sparse, factors_334, mode)
+            projected = dense.copy()
+            # Project every mode but `mode` with the transposed factors.
+            from repro.tensor import mode_product
+
+            for k in range(3):
+                if k == mode:
+                    continue
+                projected = mode_product(projected, factors_334[k].T, k)
+            expected = unfold(projected, mode)
+            # Column orderings differ (ascending-mode Fortran vs last-fastest C);
+            # compare via Gram matrices which are ordering-invariant row spaces.
+            np.testing.assert_allclose(result @ result.T, expected @ expected.T)
+
+    def test_gram_chain_matches_ttm(self, dense_and_sparse, factors_334):
+        _, sparse = dense_and_sparse
+        for mode in range(3):
+            y_unfolded = sparse_ttm_chain(sparse, factors_334, mode)
+            gram = sparse_gram_chain(sparse, factors_334, mode)
+            np.testing.assert_allclose(gram, y_unfolded.T @ y_unfolded, atol=1e-10)
+
+    def test_gram_chain_blocked(self, dense_and_sparse, factors_334):
+        _, sparse = dense_and_sparse
+        full = sparse_gram_chain(sparse, factors_334, 0)
+        blocked = sparse_gram_chain(sparse, factors_334, 0, block_size=7)
+        np.testing.assert_allclose(full, blocked, atol=1e-10)
+
+    def test_missing_entries_treated_as_zero(self, rng, factors_334):
+        dense = rng.uniform(0.5, 1.0, size=(5, 4, 3))
+        mask = rng.uniform(size=dense.shape) < 0.4
+        dense_masked = np.where(mask, dense, 0.0)
+        sparse = SparseTensor.from_dense(dense_masked)
+        result = sparse_ttm_chain(sparse, factors_334, 0)
+        full_sparse = SparseTensor.from_dense(dense_masked, keep_zeros=True)
+        full_result = sparse_ttm_chain(full_sparse, factors_334, 0)
+        np.testing.assert_allclose(result, full_result)

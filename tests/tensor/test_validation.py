@@ -1,0 +1,115 @@
+"""Tests for the shared validation helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DataFormatError,
+    OutOfMemoryError,
+    ReproError,
+    ShapeError,
+)
+from repro.tensor.validation import (
+    check_indices,
+    check_mode,
+    check_ranks,
+    check_shape,
+    check_values,
+)
+
+
+class TestCheckShape:
+    def test_valid_shape(self):
+        assert check_shape([3, 4, 5]) == (3, 4, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            check_shape([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ShapeError):
+            check_shape([3, 0])
+        with pytest.raises(ShapeError):
+            check_shape([3, -1])
+
+    def test_casts_to_int(self):
+        assert check_shape(np.array([2.0, 3.0])) == (2, 3)
+
+
+class TestCheckMode:
+    def test_valid(self):
+        assert check_mode(2, 3) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ShapeError):
+            check_mode(3, 3)
+        with pytest.raises(ShapeError):
+            check_mode(-1, 3)
+
+
+class TestCheckRanks:
+    def test_valid(self):
+        assert check_ranks([2, 3], [5, 6]) == (2, 3)
+
+    def test_count_mismatch(self):
+        with pytest.raises(ShapeError):
+            check_ranks([2], [5, 6])
+
+    def test_rank_exceeds_dimension(self):
+        with pytest.raises(ShapeError):
+            check_ranks([7, 2], [5, 6])
+
+    def test_nonpositive_rank(self):
+        with pytest.raises(ShapeError):
+            check_ranks([0, 2], [5, 6])
+
+
+class TestCheckIndicesValues:
+    def test_valid_indices(self):
+        idx = check_indices(np.array([[0, 1], [2, 3]]), (3, 4))
+        assert idx.dtype == np.int64
+
+    def test_float_integral_indices_accepted(self):
+        idx = check_indices(np.array([[0.0, 1.0]]), (3, 4))
+        assert idx.dtype == np.int64
+
+    def test_float_fractional_indices_rejected(self):
+        with pytest.raises(ShapeError):
+            check_indices(np.array([[0.5, 1.0]]), (3, 4))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ShapeError):
+            check_indices(np.array([0, 1]), (3, 4))
+
+    def test_wrong_column_count(self):
+        with pytest.raises(ShapeError):
+            check_indices(np.array([[0, 1, 2]]), (3, 4))
+
+    def test_values_must_be_1d(self):
+        with pytest.raises(ShapeError):
+            check_values(np.zeros((2, 2)), 4)
+
+    def test_values_count_must_match(self):
+        with pytest.raises(ShapeError):
+            check_values(np.zeros(3), 4)
+
+    def test_values_cast_to_float(self):
+        vals = check_values(np.array([1, 2, 3]), 3)
+        assert vals.dtype == np.float64
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (ShapeError, DataFormatError, ConvergenceError, OutOfMemoryError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_shape_error_is_value_error(self):
+        assert issubclass(ShapeError, ValueError)
+
+    def test_oom_is_memory_error_with_details(self):
+        error = OutOfMemoryError(2048, 1024, what="cache table")
+        assert isinstance(error, MemoryError)
+        assert error.requested_bytes == 2048
+        assert error.budget_bytes == 1024
+        assert "cache table" in str(error)

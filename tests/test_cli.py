@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import ALGORITHMS, load_model, main, save_model
+from repro.core import PTucker, PTuckerConfig
+from repro.data import planted_tucker_tensor
+from repro.tensor import save_text
+
+
+@pytest.fixture
+def tensor_file(tmp_path):
+    planted = planted_tucker_tensor(
+        shape=(15, 12, 10), ranks=(2, 2, 2), nnz=700, noise_level=0.01, seed=6
+    )
+    path = tmp_path / "tensor.tns"
+    save_text(planted.tensor, path)
+    return str(path), planted.tensor
+
+
+class TestInfoCommand:
+    def test_prints_statistics(self, tensor_file, capsys):
+        path, tensor = tensor_file
+        assert main(["info", path]) == 0
+        output = capsys.readouterr().out
+        assert f"shape: {tensor.shape}" in output
+        assert f"observed entries: {tensor.nnz}" in output
+        assert "mode 0" in output
+
+
+class TestFactorizeCommand:
+    def test_factorize_and_save_model(self, tensor_file, tmp_path, capsys):
+        path, _ = tensor_file
+        prefix = str(tmp_path / "model")
+        code = main(
+            [
+                "factorize",
+                path,
+                "--ranks",
+                "2",
+                "2",
+                "2",
+                "--max-iterations",
+                "3",
+                "--output",
+                prefix,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "P-Tucker" in output
+        assert "iter   1" in output or "iter 1" in output.replace("  ", " ")
+        model = load_model(prefix + ".npz")
+        assert model.core.shape == (2, 2, 2)
+        assert len(model.factors) == 3
+
+    def test_factorize_with_test_split(self, tensor_file, capsys):
+        path, _ = tensor_file
+        code = main(
+            [
+                "factorize",
+                path,
+                "--ranks",
+                "2",
+                "--max-iterations",
+                "2",
+                "--test-fraction",
+                "0.1",
+            ]
+        )
+        assert code == 0
+        assert "test RMSE" in capsys.readouterr().out
+
+    def test_factorize_with_alternative_algorithm(self, tensor_file, capsys):
+        path, _ = tensor_file
+        code = main(
+            [
+                "factorize",
+                path,
+                "--algorithm",
+                "s-hot",
+                "--ranks",
+                "2",
+                "--max-iterations",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "S-HOT" in capsys.readouterr().out
+
+    def test_all_registered_algorithms_are_constructible(self):
+        config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=1)
+        for name, cls in ALGORITHMS.items():
+            solver = cls(config)
+            assert hasattr(solver, "fit"), name
+
+
+class TestPredictCommand:
+    def test_predict_matches_library_prediction(self, tensor_file, tmp_path, capsys):
+        path, tensor = tensor_file
+        config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=3, seed=0)
+        result = PTucker(config).fit(tensor)
+        prefix = str(tmp_path / "model")
+        save_model(result, prefix)
+
+        code = main(["predict", prefix + ".npz", "--index", "1", "2", "3"])
+        assert code == 0
+        printed = float(capsys.readouterr().out.strip())
+        expected = float(result.predict(np.array([1, 2, 3]))[0])
+        assert printed == pytest.approx(expected, rel=1e-5)
+
+    def test_predict_wrong_arity(self, tensor_file, tmp_path, capsys):
+        path, tensor = tensor_file
+        config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=1, seed=0)
+        result = PTucker(config).fit(tensor)
+        prefix = str(tmp_path / "model")
+        save_model(result, prefix)
+        code = main(["predict", prefix + ".npz", "--index", "1", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestModelRoundtrip:
+    def test_save_load_preserves_model(self, tensor_file, tmp_path):
+        _, tensor = tensor_file
+        config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=2, seed=0)
+        result = PTucker(config).fit(tensor)
+        prefix = str(tmp_path / "roundtrip")
+        save_model(result, prefix)
+        loaded = load_model(prefix + ".npz")
+        np.testing.assert_allclose(loaded.core, result.core)
+        for original, reloaded in zip(result.factors, loaded.factors):
+            np.testing.assert_allclose(original, reloaded)
+        assert loaded.algorithm == "P-Tucker"
