@@ -1,0 +1,88 @@
+"""Microbenchmark: seed Kronecker kernel vs. contraction-ordered kernel.
+
+Unlike the figure/table benchmarks, this one measures the repository's own
+perf trajectory: one ``update_factor_mode`` sweep with the seed kernel
+(``kernel="kron"``) against the contraction kernel (``kernel="contracted"``)
+across an (nnz, rank, order) grid, with a brute-force accuracy check on the
+contracted result.
+
+Run as a pytest benchmark (small grid) or as a script::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_microbench.py [--small] [-o OUT]
+
+which writes ``BENCH_kernels.json`` (the full default grid; ``--small``
+smoke runs write ``BENCH_kernels_small.json`` instead so they never clobber
+the committed full-grid record).  ``benchmarks/run_benchmarks.py`` and
+``python -m repro.experiments bench-kernels`` wrap the same runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments.report import render_table
+from repro.kernels.microbench import (
+    DEFAULT_GRID,
+    SMALL_GRID,
+    run_microbench,
+    write_payload,
+)
+
+
+def test_kernel_microbench_small_grid(benchmark):
+    """Contracted kernel beats the seed kernel on every small-grid cell."""
+    payload = benchmark.pedantic(
+        lambda: run_microbench(grid=SMALL_GRID, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(payload["rows"], title="Kernel microbench - kron vs contracted"))
+    assert payload["max_abs_error_vs_brute_force"] <= 1e-8
+    for row in payload["rows"]:
+        # Slack below 1.0 keeps the regression signal without making the
+        # assertion flaky when a tiny cell hits scheduler noise on a loaded
+        # machine; real regressions show up as order-of-magnitude drops.
+        assert row["speedup"] > 0.8, f"contracted kernel regressed on {row}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the seed vs. contraction row-update kernels."
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="run the reduced smoke grid instead of the full default grid "
+        "(which includes the nnz=100k acceptance cell)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="where to write the JSON payload (default: repo-root "
+        "BENCH_kernels.json, or BENCH_kernels_small.json with --small)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per cell (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    grid = SMALL_GRID if args.small else DEFAULT_GRID
+    output = args.output
+    if output is None:
+        # Smoke runs get their own file so the committed full-grid record
+        # is never overwritten by 3-cell data.
+        filename = "BENCH_kernels_small.json" if args.small else "BENCH_kernels.json"
+        output = os.path.join(os.path.dirname(__file__), "..", filename)
+    payload = run_microbench(grid=grid, repeats=args.repeats)
+    path = write_payload(payload, os.path.normpath(output))
+    print(render_table(payload["rows"], title="Kernel microbench - kron vs contracted"))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

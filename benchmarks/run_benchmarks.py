@@ -1,0 +1,27 @@
+"""One-command benchmark entry point: ``python benchmarks/run_benchmarks.py``.
+
+Runs the kernel microbench suite with small default sizes (including the
+nnz=100k, rank=10, order=3 cell the perf gate tracks) and emits
+``BENCH_kernels.json`` at the repository root, so the perf trajectory is
+reproducible in one command.  The same runner is exposed as
+``python -m repro.experiments bench-kernels``.
+
+This is a thin alias for ``benchmarks/bench_kernel_microbench.py`` (one
+implementation, two discoverable names); all flags — ``--small``,
+``--repeats``, ``-o`` — pass through.  The pytest-benchmark figure/table
+suite is unaffected; run it with ``pytest benchmarks/`` as before.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, _HERE)
+
+from bench_kernel_microbench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

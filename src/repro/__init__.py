@@ -4,6 +4,8 @@
 The package provides:
 
 * :mod:`repro.tensor` — sparse COO tensors, dense tensor algebra, CSF.
+* :mod:`repro.kernels` — contraction-ordered δ/reduction kernels shared by
+  every solver hot path (see its docstring for the complexity analysis).
 * :mod:`repro.core` — P-Tucker, P-Tucker-Cache and P-Tucker-Approx.
 * :mod:`repro.baselines` — Tucker-ALS (HOOI), Tucker-wOpt, Tucker-CSF,
   S-HOT and CP-ALS.

@@ -22,12 +22,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..kernels import contract_delta_block
 from ..metrics.memory import BYTES_PER_FLOAT, MemoryTracker
 from ..tensor.coo import SparseTensor
 from ..tensor.operations import factor_rows_product
 from .config import PTuckerConfig
 from .ptucker import PTucker
-from .row_update import compute_delta_block, core_unfolding
 
 
 class PTuckerCache(PTucker):
@@ -49,16 +49,30 @@ class PTuckerCache(PTucker):
         core: np.ndarray,
         memory: Optional[MemoryTracker],
     ) -> None:
-        """Precompute Pres for every (observed entry, core entry) pair."""
+        """Precompute Pres for every (observed entry, core entry) pair.
+
+        The table is filled block by block (reusing ``config.block_size``) so
+        the only full-size allocation is the |Ω| × |G| table itself — the
+        transient Kronecker weight blocks stay ``block_size`` rows tall, and
+        the tracker's accounting (charged up front, before the fill) matches
+        the true peak.
+        """
         core_flat = np.asarray(core).reshape(-1)
-        weights = factor_rows_product(tensor, factors, skip=-1)
-        self._pres = weights * core_flat[None, :]
-        self._core_flat = core_flat.copy()
+        n_entries = tensor.nnz
+        width = core_flat.shape[0]
         if memory is not None:
-            memory.allocate(
-                self._pres.shape[0] * self._pres.shape[1] * BYTES_PER_FLOAT,
-                "cache-table",
+            memory.allocate(n_entries * width * BYTES_PER_FLOAT, "cache-table")
+        pres = np.empty((n_entries, width), dtype=np.float64)
+        block = self.config.block_size
+        for start in range(0, n_entries, block):
+            stop = min(start + block, n_entries)
+            # A slice keeps the index gather inside factor_rows_product a view.
+            weights = factor_rows_product(
+                tensor, factors, skip=-1, entry_rows=slice(start, stop)
             )
+            np.multiply(weights, core_flat[None, :], out=pres[start:stop])
+        self._pres = pres
+        self._core_flat = core_flat.copy()
 
     # ------------------------------------------------------------------
     def _delta_provider(self, tensor: SparseTensor, factors, core, mode: int):
@@ -75,7 +89,6 @@ class PTuckerCache(PTucker):
             return None
         core_arr = np.asarray(core)
         rank = core_arr.shape[mode]
-        core_unfolded = core_unfolding(core_arr, mode)
         # Column grouping of the flattened (C-order) core by its mode-n index.
         jn_of_column = np.indices(core_arr.shape)[mode].reshape(-1)
         group_matrix = np.zeros((core_arr.size, rank), dtype=np.float64)
@@ -98,8 +111,8 @@ class PTuckerCache(PTucker):
             # Fallback: entries touching a zero factor value get the direct O(N) path.
             needs_fallback = np.nonzero(~safe.all(axis=1))[0]
             if needs_fallback.size:
-                deltas[needs_fallback] = compute_delta_block(
-                    rows[needs_fallback], factors, core_unfolded, mode_inner
+                deltas[needs_fallback] = contract_delta_block(
+                    rows[needs_fallback], factors, core_arr, mode_inner
                 )
             return deltas
 

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..metrics.errors import reconstruction_error, regularized_loss
+from ..metrics.errors import error_and_loss
 from ..metrics.memory import MemoryTracker
 from ..metrics.timing import IterationTimer
 from ..parallel.scheduler import RowScheduler
@@ -136,8 +136,10 @@ class PTucker:
                     scheduler.record_mode(contexts[mode].row_counts)
                     self._after_mode_update(tensor, factors, core, mode, previous)
 
-                error = reconstruction_error(tensor, core, factors)
-                loss = regularized_loss(tensor, core, factors, config.regularization)
+                # One residual pass yields both metrics (Eqs. 5 and 6).
+                error, loss = error_and_loss(
+                    tensor, core, factors, config.regularization
+                )
                 core = self._after_iteration(tensor, factors, core, iteration)
 
             trace.add(

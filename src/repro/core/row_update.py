@@ -14,11 +14,18 @@ and the new row  a^{(n)}_{i_n,:} = c_{i_n} (B_{i_n} + λ I)^{-1}   (Eq. 9).
 
 The paper's C implementation walks the entries of Ω row by row inside an
 OpenMP loop; here the same computation is expressed with NumPy batch
-operations: δ for all entries of a mode is a single GEMM against the mode-n
-unfolding of the core, the per-row reductions use index-sorted segment sums,
-and the per-row solves are one batched ``numpy.linalg.solve``.  The result is
-numerically identical to the paper's update (tests compare it against a
-brute-force per-row least-squares).
+operations routed through :mod:`repro.kernels`: δ for all entries of a mode
+comes from the progressive core contraction of
+:func:`~repro.kernels.contraction.contract_delta_block`, the per-row
+reductions are ``np.add.reduceat`` segment sums over the mode-sorted entry
+order, and the per-row solves are one batched ``numpy.linalg.solve``.  The
+result is numerically identical to the paper's update (tests compare it
+against a brute-force per-row least-squares).
+
+The seed kernel — a running Kronecker product against the unfolded core plus
+``np.add.at`` scatter accumulation — is kept available as
+``update_factor_mode(..., kernel="kron")`` so the microbenchmarks can record
+the speedup of the contraction path against it.
 """
 
 from __future__ import annotations
@@ -28,6 +35,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import (
+    make_delta_contractor,
+    normal_equations_sorted,
+    solve_rows,
+)
 from ..metrics.memory import BYTES_PER_FLOAT, MemoryTracker
 from ..tensor.coo import SparseTensor
 
@@ -108,12 +120,19 @@ def compute_delta_block(
     core_unfolded: np.ndarray,
     mode: int,
 ) -> np.ndarray:
-    """δ vectors (Eq. 12) for a block of observed entries.
+    """δ vectors (Eq. 12) for a block of observed entries (seed kernel).
 
     ``indices_block`` has shape ``(m, N)``; the result has shape
     ``(m, J_mode)``.  The running element-wise product over modes ``k ≠ mode``
     builds, per entry, the Kronecker product of the other factor rows; a
     single matrix product against the unfolded core then yields δ.
+
+    This is the legacy Kronecker path: it materialises an
+    ``(m, Π_{k≠mode} J_k)`` intermediate.  The solvers now default to
+    :func:`repro.kernels.contraction.contract_delta_block`, which computes
+    the same values by contracting the core mode by mode; this function is
+    retained as the ``kernel="kron"`` baseline for the microbenchmarks and
+    regression tests.
     """
     n_entries = indices_block.shape[0]
     order = indices_block.shape[1]
@@ -132,11 +151,16 @@ def accumulate_normal_equations(
     segment_of_entry: np.ndarray,
     n_segments: int,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-row B (Eq. 10) and c (Eq. 11) from per-entry δ vectors.
+    """Per-row B (Eq. 10) and c (Eq. 11) from per-entry δ vectors (seed kernel).
 
     ``segment_of_entry[e]`` maps entry ``e`` to its row's position in the
     mode context's ``row_ids``; the returned arrays are stacked per row:
     ``B`` has shape ``(n_segments, J, J)`` and ``c`` shape ``(n_segments, J)``.
+
+    Legacy path: materialises the ``(m, J, J)`` outer-product array and
+    reduces it with ``np.add.at`` scatter-adds.  The solvers now use the
+    segment-sorted reductions of :mod:`repro.kernels.segments`; this function
+    backs the ``kernel="kron"`` baseline.
     """
     rank = deltas.shape[1]
     outer = deltas[:, :, None] * deltas[:, None, :]
@@ -145,29 +169,6 @@ def accumulate_normal_equations(
     c_vectors = np.zeros((n_segments, rank), dtype=np.float64)
     np.add.at(c_vectors, segment_of_entry, values[:, None] * deltas)
     return b_matrices, c_vectors
-
-
-def solve_rows(
-    b_matrices: np.ndarray, c_vectors: np.ndarray, regularization: float
-) -> np.ndarray:
-    """Solve ``(B + λ I) aᵀ = c`` for every row at once (Eq. 9).
-
-    ``B + λI`` is symmetric positive definite for λ > 0 (B is a Gram matrix),
-    so the batched solve is well posed; a tiny ridge is added in the λ = 0
-    corner case to keep the solve finite when a row is rank deficient.
-    """
-    n_rows, rank, _ = b_matrices.shape
-    ridge = regularization if regularization > 0 else 1e-12
-    systems = b_matrices + ridge * np.eye(rank)[None, :, :]
-    try:
-        solutions = np.linalg.solve(systems, c_vectors[:, :, None])
-    except np.linalg.LinAlgError:
-        solutions = np.empty((n_rows, rank, 1))
-        for row in range(n_rows):
-            solutions[row, :, 0] = np.linalg.lstsq(
-                systems[row], c_vectors[row], rcond=None
-            )[0]
-    return solutions[:, :, 0]
 
 
 def update_factor_mode(
@@ -180,6 +181,7 @@ def update_factor_mode(
     block_size: int = 200_000,
     memory: Optional[MemoryTracker] = None,
     delta_provider=None,
+    kernel: str = "contracted",
 ) -> np.ndarray:
     """Update every row of factor matrix ``A^(mode)`` in place and return it.
 
@@ -189,18 +191,28 @@ def update_factor_mode(
     ordering, and must return the ``(m, J_mode)`` δ block.  When omitted the
     deltas are computed from the core and factor matrices directly
     (the default P-Tucker path).
+
+    ``kernel`` selects the inner-loop implementation: ``"contracted"``
+    (default) uses the progressive core contraction and segment-sorted
+    reductions of :mod:`repro.kernels`; ``"kron"`` uses the seed Kronecker +
+    scatter-add kernel, kept for benchmarking and regression comparison.
     """
+    if kernel not in ("contracted", "kron"):
+        raise ValueError(f"unknown kernel {kernel!r}; use 'contracted' or 'kron'")
     ctx = context if context is not None else build_mode_context(tensor, mode)
     factor = factors[mode]
     rank = factor.shape[1]
-    core_unfolded = core_unfolding(core, mode)
+    use_legacy = kernel == "kron"
+    core_unfolded = core_unfolding(core, mode) if use_legacy else None
 
     n_listed_rows = ctx.row_ids.shape[0]
     if n_listed_rows == 0:
         return factor
 
-    # Map every sorted entry to the position of its row in ctx.row_ids.
-    segment_of_entry = np.repeat(np.arange(n_listed_rows), ctx.row_counts)
+    if use_legacy:
+        # Map every sorted entry to the position of its row in ctx.row_ids
+        # (only the scatter-add kernel consumes this nnz-sized array).
+        segment_of_entry = np.repeat(np.arange(n_listed_rows), ctx.row_counts)
 
     b_matrices = np.zeros((n_listed_rows, rank, rank), dtype=np.float64)
     c_vectors = np.zeros((n_listed_rows, rank), dtype=np.float64)
@@ -210,23 +222,46 @@ def update_factor_mode(
         memory.allocate((2 * rank * rank + 2 * rank) * BYTES_PER_FLOAT, "row-update")
 
     n_entries = ctx.sorted_indices.shape[0]
+    contractor = None
+    if delta_provider is None and not use_legacy:
+        # Entry-independent contraction state (precontraction tables) is
+        # built once per sweep and shared by every block below.
+        contractor = make_delta_contractor(factors, core, mode, n_entries)
     for start in range(0, n_entries, block_size):
         stop = min(start + block_size, n_entries)
         block_slice = slice(start, stop)
         if delta_provider is not None:
             deltas = delta_provider(ctx.perm[block_slice], mode)
-        else:
+        elif use_legacy:
             deltas = compute_delta_block(
                 ctx.sorted_indices[block_slice], factors, core_unfolded, mode
             )
-        partial_b, partial_c = accumulate_normal_equations(
-            deltas,
-            ctx.sorted_values[block_slice],
-            segment_of_entry[block_slice],
-            n_listed_rows,
-        )
-        b_matrices += partial_b
-        c_vectors += partial_c
+        else:
+            deltas = contractor(ctx.sorted_indices[block_slice])
+        if use_legacy:
+            partial_b, partial_c = accumulate_normal_equations(
+                deltas,
+                ctx.sorted_values[block_slice],
+                segment_of_entry[block_slice],
+                n_listed_rows,
+            )
+            b_matrices += partial_b
+            c_vectors += partial_c
+        else:
+            # Entries are row-sorted, so each row is one contiguous run inside
+            # the block; a run can only split across blocks, in which case its
+            # partial sums land on the same destination row twice.  The rows
+            # overlapping this block and their local run boundaries come
+            # straight from the context's row segmentation.
+            first = np.searchsorted(ctx.row_starts, start, side="right") - 1
+            last = np.searchsorted(ctx.row_starts, stop, side="left")
+            local_rows = np.arange(first, last)
+            local_starts = np.maximum(ctx.row_starts[first:last] - start, 0)
+            partial_b, partial_c = normal_equations_sorted(
+                deltas, ctx.sorted_values[block_slice], local_starts
+            )
+            b_matrices[local_rows] += partial_b
+            c_vectors[local_rows] += partial_c
 
     new_rows = solve_rows(b_matrices, c_vectors, regularization)
     factor[ctx.row_ids] = new_rows

@@ -77,7 +77,7 @@ class PTuckerSampled(PTucker):
         if self.sample_fraction >= 1.0:
             return super().fit(tensor)
 
-        from ..metrics.errors import reconstruction_error, regularized_loss
+        from ..metrics.errors import error_and_loss
         from ..metrics.timing import IterationTimer
         from ..parallel.scheduler import RowScheduler
         from .core_tensor import initialize_core, initialize_factors, orthogonalize
@@ -123,8 +123,9 @@ class PTuckerSampled(PTucker):
                         memory=memory,
                     )
                     scheduler.record_mode(sample_contexts[mode].row_counts)
-                error = reconstruction_error(tensor, core, factors)
-                loss = regularized_loss(tensor, core, factors, config.regularization)
+                error, loss = error_and_loss(
+                    tensor, core, factors, config.regularization
+                )
 
             trace.add(
                 IterationRecord(

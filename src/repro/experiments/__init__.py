@@ -1,6 +1,7 @@
 """Experiment modules regenerating every figure and table of the evaluation."""
 
 from . import (
+    bench_kernels,
     figure5,
     figure6,
     figure7,
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "figure11": figure11,
     "table5": table5,
     "table6": table6,
+    "bench-kernels": bench_kernels,
 }
 
 __all__ = [

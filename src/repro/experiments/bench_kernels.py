@@ -1,0 +1,46 @@
+"""Kernel microbenchmark experiment: ``python -m repro.experiments bench-kernels``.
+
+Not one of the paper's figures — this experiment records the repository's own
+perf trajectory.  It runs the seed Kronecker kernel against the
+contraction-ordered kernel of :mod:`repro.kernels` on the same small default
+(nnz, rank, order) grid as ``benchmarks/run_benchmarks.py`` — including the
+nnz=100k cell the perf gate tracks — and writes ``BENCH_kernels.json`` into
+the current working directory, so re-running it from the repo root refreshes
+the committed record rather than degrading it to a smoke payload.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from ..kernels.microbench import DEFAULT_GRID, run_microbench, write_payload
+from .harness import ExperimentResult
+
+NAME = "bench-kernels"
+OUTPUT_FILENAME = "BENCH_kernels.json"
+
+
+def run(
+    grid: Optional[Sequence[Dict[str, int]]] = None,
+    repeats: int = 3,
+    output: Optional[str] = OUTPUT_FILENAME,
+) -> ExperimentResult:
+    """Time the kron vs. contracted kernels and report per-cell speedups."""
+    payload = run_microbench(
+        grid=DEFAULT_GRID if grid is None else grid, repeats=repeats
+    )
+    result = ExperimentResult(name=NAME)
+    result.add_rows(payload["rows"])
+    result.add_note(
+        "speedup = seed Kronecker kernel time / contraction kernel time "
+        "for one update_factor_mode sweep of mode 0"
+    )
+    result.add_note(
+        "max |error| vs brute force: "
+        f"{payload['max_abs_error_vs_brute_force']:.3e}"
+    )
+    if output:
+        path = write_payload(payload, os.path.abspath(output))
+        result.add_note(f"wrote {path}")
+    return result

@@ -1,0 +1,85 @@
+"""Contraction-ordered numerical kernels shared by every solver hot path.
+
+This package is the single home of the performance-critical inner loops of
+the repository: δ computation (Eq. 12), per-row normal-equation reduction
+(Eqs. 10-11), the batched row solves (Eq. 9) and sparse reconstruction
+(Eq. 4).  The P-Tucker solvers, the cache/approx/sampled variants, the
+process-pool executor and the HOOI-style baselines all route through these
+functions instead of carrying private copies of the math.
+
+Contraction ordering
+--------------------
+The seed kernel materialised, for every block of ``m`` observed entries, the
+running Kronecker product of the non-target factor rows — an
+``(m, Π_{k≠n} J_k)`` intermediate — and then multiplied it against the
+``(J_n, Π_{k≠n} J_k)`` unfolded core.  The kernels here never build that
+matrix.  Instead the core is contracted *mode by mode* against the gathered
+factor rows (largest mode first), in the S-HOT spirit of "reduce on the fly,
+never materialise the unfolding":
+
+    temp ← transpose(G, [n] + others)         # |G| = Π_k J_k cells
+    for k ≠ n, from the last axis inward:
+        temp ← contract(temp, A^(k)[i_k, :])  # GEMM, then batched einsum over m
+
+Each contraction removes one mode, so the per-entry intermediate *shrinks*
+from ``|G|`` toward ``J_n`` instead of growing to ``Π_{k≠n} J_k``.  The kept
+mode leads the layout and the contracted axis is always the (contiguous)
+last one: the first (and largest) contraction is a plain GEMM with a
+C-contiguous ``(m, |G|/J_k)`` result, and every later step is a contiguous
+batched inner reduction.
+
+Complexity
+----------
+Per block of ``m`` entries the seed path costs
+``O(m · Π_k J_k)`` memory for the Kronecker intermediate and
+``O(m · J_n · Π_{k≠n} J_k)`` time for the dense product, i.e.
+``O(nnz · Π J)`` per sweep with a full-width temporary per entry.  The
+contraction schedule performs the same ``O(m · |G|)`` leading GEMM but every
+later step operates on a strictly smaller tensor, giving
+``O(nnz · Σ_k |G| / Π_{j<k} J_j)  ≈  O(nnz · Σ J · max|G|/J)`` time with a
+largest temporary of ``O(m · |G| / max_k J_k)`` — and for the reductions,
+``np.add.reduceat`` segment sums over mode-sorted entries replace
+``np.add.at`` scatter-adds (which degrade to per-element scalar dispatch),
+while per-row Gram matrices are accumulated as segmented δᵀδ products so the
+``(m, J, J)`` outer-product array is never materialised.
+
+Submodules
+----------
+* :mod:`~repro.kernels.contraction` — progressive core contraction (δ blocks
+  and fully-contracted per-entry model values).
+* :mod:`~repro.kernels.segments` — segment-sorted reductions (sums, Gram
+  matrices, normal equations) and segment gather helpers.
+* :mod:`~repro.kernels.solve` — the batched ridge row solve.
+* :mod:`~repro.kernels.microbench` — old-vs-new kernel timing grids
+  (imported lazily; it depends on the tensor and solver layers).
+"""
+
+from .contraction import (
+    contract_delta_block,
+    contract_value_block,
+    make_delta_contractor,
+    make_value_contractor,
+)
+from .segments import (
+    block_segment_starts,
+    concatenated_segment_starts,
+    normal_equations_sorted,
+    segment_gram,
+    segment_positions,
+    segment_sum,
+)
+from .solve import solve_rows
+
+__all__ = [
+    "contract_delta_block",
+    "contract_value_block",
+    "make_delta_contractor",
+    "make_value_contractor",
+    "block_segment_starts",
+    "concatenated_segment_starts",
+    "normal_equations_sorted",
+    "segment_gram",
+    "segment_positions",
+    "segment_sum",
+    "solve_rows",
+]

@@ -1,0 +1,215 @@
+"""Progressive core contraction against gathered factor rows.
+
+The two entry points share one engine that contracts the non-kept modes of
+the core against the factor rows of a block of ``m`` observed entries.  Two
+complementary contraction strategies are combined per mode:
+
+* **Precontraction** — when a mode's dimensionality ``I_k`` is no larger
+  than the block (``I_k ≤ m``) and the resulting table stays small, the core
+  is contracted against the *entire* factor matrix once
+  (``T ← T ×_k A^(k)``, an ``I_k · |T|`` tensordot instead of ``m · |T|``
+  batched work); the per-entry result is then a single row gather from the
+  table.  Observed entries share mode indices, so this reuses every shared
+  partial product instead of recomputing it per entry.
+* **Batched contraction** — remaining (large-dimension) modes are reduced
+  per entry: the first one as a plain GEMM introducing the batch axis with a
+  C-contiguous result, each later one as a contiguous batched ``einsum``
+  over the (always last) axis of the shrinking intermediate.
+
+Every step removes one mode, so the per-entry intermediate only shrinks —
+the ``(m, Π_{k≠n} J_k)`` Kronecker matrix of the seed kernel never exists.
+
+See the package docstring of :mod:`repro.kernels` for the complexity
+comparison against the seed Kronecker kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Precontracted tables are capped at this many float64 cells (16 MB), so
+#: the hybrid never trades the eliminated Kronecker intermediate for an
+#: equally large table on wide-dimension modes.
+PRECONTRACT_CELL_BUDGET = 1 << 21
+
+
+class _ContractionPlan:
+    """Entry-independent state of one contraction sweep.
+
+    Built once per (factors, core, kept mode) and applied to any number of
+    entry blocks: the precontracted table and the contraction schedule only
+    depend on the model, so block loops (the solvers' ``block_size`` chunks)
+    reuse them instead of rebuilding per block.
+    """
+
+    __slots__ = ("factors", "pre", "pre_dims", "flat", "g", "rest", "loop_modes")
+
+    def __init__(
+        self,
+        factors: Sequence[np.ndarray],
+        core_arr: np.ndarray,
+        keep_mode: Optional[int],
+        expected_entries: int,
+    ) -> None:
+        order = core_arr.ndim
+        other = [k for k in range(order) if k != keep_mode]
+        self.factors = factors
+
+        # Greedy precontraction set: smallest dimensions first, while the
+        # table stays under budget and beats the batched cost over the sweep.
+        pre: List[int] = []
+        size = core_arr.size
+        for k in sorted(other, key=lambda q: np.asarray(factors[q]).shape[0]):
+            dim_k = np.asarray(factors[k]).shape[0]
+            new_size = (size // core_arr.shape[k]) * dim_k
+            if dim_k <= expected_entries and new_size <= PRECONTRACT_CELL_BUDGET:
+                pre.append(k)
+                size = new_size
+        batch = [k for k in other if k not in pre]
+        kept = [keep_mode] if keep_mode is not None else []
+        self.pre = pre
+
+        if pre:
+            # Contract the table against whole factor matrices, tracking
+            # which mode each table axis belongs to (~k marks mode k's I_k
+            # axis).
+            table = core_arr
+            axes: List[int] = list(range(order))
+            for k in pre:
+                position = axes.index(k)
+                table = np.tensordot(
+                    table, np.asarray(factors[k]), axes=([position], [1])
+                )
+                axes.pop(position)
+                axes.append(~k)
+            target = [~k for k in pre] + kept + batch
+            table = np.transpose(table, [axes.index(a) for a in target])
+            self.pre_dims = table.shape[: len(pre)]
+            self.rest = list(table.shape[len(pre) :])
+            self.flat = table.reshape(
+                int(np.prod(self.pre_dims, dtype=np.int64)), -1
+            )
+            self.g = None
+            self.loop_modes = batch
+        else:
+            # The first batched step reduces the core's last axis as one GEMM.
+            self.g = np.transpose(core_arr, kept + batch)
+            self.rest = list(self.g.shape[:-1])
+            self.pre_dims = ()
+            self.flat = None
+            self.loop_modes = batch
+
+    def apply(self, indices_block: np.ndarray) -> np.ndarray:
+        """Contract the planned modes for one ``(m, N)`` entry block."""
+        n_entries = indices_block.shape[0]
+        factors = self.factors
+        if self.pre:
+            # Row-major composite index of each entry into the gathered axes.
+            linear = np.zeros(n_entries, dtype=np.int64)
+            for axis, k in enumerate(self.pre):
+                linear = linear * self.pre_dims[axis] + indices_block[:, k]
+            temp = self.flat.take(linear, axis=0)
+            loop_modes = self.loop_modes
+        else:
+            # First step: the GEMM, batch axis leading.
+            last = self.loop_modes[-1]
+            rows = np.asarray(factors[last])[indices_block[:, last]]
+            temp = rows @ self.g.reshape(-1, self.g.shape[-1]).T
+            loop_modes = self.loop_modes[:-1]
+
+        # Batched steps: the next mode to contract is always the
+        # (contiguous) last axis of the shrinking intermediate.
+        remaining = list(self.rest)
+        for k in reversed(loop_modes):
+            rows = np.asarray(factors[k])[indices_block[:, k]]
+            rank_k = remaining.pop()
+            temp = np.einsum(
+                "zxj,zj->zx", temp.reshape(n_entries, -1, rank_k), rows
+            )
+        return temp.reshape(n_entries, -1)
+
+
+def make_delta_contractor(
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    mode: int,
+    expected_entries: int,
+):
+    """A reusable ``indices_block -> (m, J_mode)`` δ kernel for one sweep.
+
+    The precontraction tables are built once here; solvers iterating over
+    ``block_size`` chunks call the returned function per block without
+    redoing the entry-independent work.
+    """
+    core_arr = np.asarray(core, dtype=np.float64)
+    if core_arr.ndim == 1 and mode == 0:
+        row = core_arr.reshape(1, -1)
+        return lambda indices_block: np.tile(row, (indices_block.shape[0], 1))
+    plan = _ContractionPlan(factors, core_arr, mode, expected_entries)
+    rank = core_arr.shape[mode]
+
+    def contract(indices_block: np.ndarray) -> np.ndarray:
+        indices_block = np.asarray(indices_block)
+        if indices_block.shape[0] == 0:
+            return np.zeros((0, rank), dtype=np.float64)
+        return plan.apply(indices_block)
+
+    return contract
+
+
+def make_value_contractor(
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    expected_entries: int,
+):
+    """A reusable ``indices_block -> (m,)`` model-value kernel for one sweep."""
+    core_arr = np.asarray(core, dtype=np.float64)
+    plan = _ContractionPlan(factors, core_arr, None, expected_entries)
+
+    def contract(indices_block: np.ndarray) -> np.ndarray:
+        indices_block = np.asarray(indices_block)
+        if indices_block.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return plan.apply(indices_block).reshape(-1)
+
+    return contract
+
+
+def contract_delta_block(
+    indices_block: np.ndarray,
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    mode: int,
+) -> np.ndarray:
+    """δ vectors (Eq. 12) for a block of observed entries, by core contraction.
+
+    ``indices_block`` has shape ``(m, N)``; the result has shape
+    ``(m, J_mode)`` and is numerically identical (up to floating-point
+    associativity) to the seed Kronecker kernel
+    :func:`repro.core.row_update.compute_delta_block`, without ever building
+    the ``(m, Π_{k≠mode} J_k)`` intermediate.
+    """
+    indices_block = np.asarray(indices_block)
+    contractor = make_delta_contractor(
+        factors, core, mode, indices_block.shape[0]
+    )
+    return contractor(indices_block)
+
+
+def contract_value_block(
+    indices_block: np.ndarray,
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+) -> np.ndarray:
+    """Model prediction (Eq. 4) at each entry of the block, by full contraction.
+
+    Contracts *every* mode of the core, returning a 1-D array of length
+    ``m``.  This replaces the seed path that materialised the full
+    ``(m, |G|)`` Kronecker weight matrix before reducing against the
+    flattened core.
+    """
+    indices_block = np.asarray(indices_block)
+    contractor = make_value_contractor(factors, core, indices_block.shape[0])
+    return contractor(indices_block)

@@ -1,0 +1,170 @@
+"""Old-vs-new kernel microbenchmarks across (nnz, rank, order) grids.
+
+Times one full :func:`~repro.core.row_update.update_factor_mode` sweep of
+mode 0 with the seed Kronecker kernel (``kernel="kron"``) against the
+contraction-ordered kernel (``kernel="contracted"``) on random sparse
+problems, and verifies the contracted result against
+:func:`~repro.core.row_update.brute_force_row_update` on a handful of rows.
+
+The resulting rows are what ``benchmarks/run_benchmarks.py`` and
+``python -m repro.experiments bench-kernels`` serialise into
+``BENCH_kernels.json`` — the repository's recorded perf trajectory.
+
+This module deliberately lives outside :mod:`repro.kernels`'s package
+exports: it imports the tensor and solver layers, which themselves import
+the kernel functions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.row_update import (
+    brute_force_row_update,
+    build_mode_context,
+    update_factor_mode,
+)
+from ..tensor.coo import SparseTensor
+
+#: Full default grid: small enough for minutes-scale runs, but it includes
+#: the (nnz=100k, rank=10, order=3) cell the perf acceptance gate reads.
+DEFAULT_GRID: Tuple[Dict[str, int], ...] = (
+    {"nnz": 10_000, "rank": 4, "order": 3},
+    {"nnz": 10_000, "rank": 10, "order": 3},
+    {"nnz": 100_000, "rank": 10, "order": 3},
+    {"nnz": 200_000, "rank": 10, "order": 3},
+    {"nnz": 10_000, "rank": 4, "order": 4},
+    {"nnz": 10_000, "rank": 6, "order": 4},
+    {"nnz": 5_000, "rank": 3, "order": 5},
+)
+
+#: Reduced grid for smoke runs (the pytest benchmark and the
+#: ``bench_kernel_microbench.py --small`` flag).
+SMALL_GRID: Tuple[Dict[str, int], ...] = (
+    {"nnz": 2_000, "rank": 4, "order": 3},
+    {"nnz": 5_000, "rank": 6, "order": 3},
+    {"nnz": 2_000, "rank": 3, "order": 4},
+)
+
+
+def _random_problem(
+    nnz: int, rank: int, order: int, seed: int
+) -> Tuple[SparseTensor, List[np.ndarray], np.ndarray]:
+    """A random sparse tensor with random factors and core for timing."""
+    rng = np.random.default_rng(seed)
+    dim = max(16, int(round((4.0 * nnz) ** (1.0 / order))))
+    shape = (dim,) * order
+    # Sample distinct cells so the recorded nnz is exactly the requested one.
+    n_cells = dim**order
+    flat = rng.choice(n_cells, size=min(nnz, n_cells), replace=False)
+    indices = np.stack(np.unravel_index(flat, shape), axis=1).astype(np.int64)
+    values = rng.standard_normal(indices.shape[0])
+    tensor = SparseTensor(indices, values, shape)
+    factors = [rng.uniform(-0.5, 0.5, size=(dim, rank)) for _ in range(order)]
+    core = rng.uniform(-0.5, 0.5, size=(rank,) * order)
+    return tensor, factors, core
+
+
+def _time_update(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    kernel: str,
+    repeats: int,
+    regularization: float = 0.01,
+) -> float:
+    """Best-of-``repeats`` wall time of one mode-0 factor update."""
+    context = build_mode_context(tensor, 0)
+    best = float("inf")
+    for _ in range(repeats):
+        fresh = [np.array(f, copy=True) for f in factors]
+        start = perf_counter()
+        update_factor_mode(
+            tensor, fresh, core, 0, regularization, context=context, kernel=kernel
+        )
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def _brute_force_error(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    regularization: float = 0.01,
+    n_rows: int = 3,
+) -> float:
+    """Max abs deviation of the contracted kernel from the per-row brute force.
+
+    The brute-force reference walks core cells in pure Python, so it is only
+    evaluated on a few rows, each restricted to its own entries via
+    ``mode_slice`` (the reference only ever reads the row's Ω anyway).
+    """
+    context = build_mode_context(tensor, 0)
+    updated = [np.array(f, copy=True) for f in factors]
+    update_factor_mode(
+        tensor, updated, core, 0, regularization, context=context, kernel="contracted"
+    )
+    worst = 0.0
+    for row in context.row_ids[:n_rows]:
+        row_tensor = tensor.mode_slice(0, int(row))
+        expected = brute_force_row_update(
+            row_tensor, list(factors), core, 0, int(row), regularization
+        )
+        worst = max(worst, float(np.max(np.abs(updated[0][int(row)] - expected))))
+    return worst
+
+
+def run_microbench(
+    grid: Optional[Sequence[Dict[str, int]]] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    check_rows: int = 3,
+) -> Dict[str, object]:
+    """Run the old-vs-new kernel grid and return a JSON-serialisable payload."""
+    repeats = max(1, int(repeats))
+    grid = tuple(DEFAULT_GRID if grid is None else grid)
+    rows: List[Dict[str, object]] = []
+    for cell_seed, cell in enumerate(grid):
+        nnz, rank, order = cell["nnz"], cell["rank"], cell["order"]
+        tensor, factors, core = _random_problem(nnz, rank, order, seed + cell_seed)
+        seconds_kron = _time_update(tensor, factors, core, "kron", repeats)
+        seconds_contracted = _time_update(tensor, factors, core, "contracted", repeats)
+        error = _brute_force_error(tensor, factors, core, n_rows=check_rows)
+        rows.append(
+            {
+                "nnz": int(tensor.nnz),
+                "rank": int(rank),
+                "order": int(order),
+                "seconds_kron": seconds_kron,
+                "seconds_contracted": seconds_contracted,
+                "speedup": seconds_kron / max(seconds_contracted, 1e-12),
+                "max_abs_error_vs_brute_force": error,
+            }
+        )
+    return {
+        "benchmark": "kernel_microbench",
+        "kernels": {"baseline": "kron", "candidate": "contracted"},
+        "repeats": int(repeats),
+        "rows": rows,
+        "max_abs_error_vs_brute_force": max(
+            (row["max_abs_error_vs_brute_force"] for row in rows), default=0.0
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def write_payload(payload: Dict[str, object], path: str) -> str:
+    """Serialise a microbench payload to ``path`` and return the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,143 @@
+"""Segment-sorted reductions over mode-ordered entry blocks.
+
+All functions assume the entries of one mode have already been sorted by
+their row index (the :class:`~repro.core.row_update.ModeContext` ordering),
+so every row's entries form one contiguous segment.  Reductions then run as
+``np.add.reduceat`` passes — contiguous, vectorised, and free of the
+per-element scalar dispatch that makes ``np.add.at`` the slowest operation
+in the seed kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def block_segment_starts(sorted_segment_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Start offsets and segment ids of the runs in a sorted id array.
+
+    ``sorted_segment_ids`` holds one (already sorted) segment id per entry of
+    a block; the return value is ``(starts, ids)`` where ``starts`` are the
+    offsets at which a new segment begins (always including 0) and ``ids``
+    the segment id of each run.
+    """
+    ids = np.asarray(sorted_segment_ids)
+    if ids.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    boundaries = np.flatnonzero(ids[1:] != ids[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+    return starts, ids[starts]
+
+
+def segment_sum(array: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``array`` rows via ``np.add.reduceat``.
+
+    ``starts`` are the segment start offsets (first element 0); an empty
+    input yields an empty result of matching trailing shape.
+    """
+    array = np.asarray(array)
+    if starts.shape[0] == 0:
+        return np.zeros((0,) + array.shape[1:], dtype=np.float64)
+    return np.add.reduceat(array, starts, axis=0)
+
+
+def _bucketed_gram(
+    deltas: np.ndarray,
+    values: Optional[np.ndarray],
+    starts: np.ndarray,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Segmented ``δᵀδ`` (and optionally ``Σ X δ``) via batched GEMMs.
+
+    Segments are bucketed by length so all equally-long segments reduce in
+    one batched ``matmul`` — each bucket is a ``(n_segments, length, J)``
+    stack contracted as ``blockᵀ block``.  The ``(m, J, J)`` outer-product
+    array of the seed kernel is never materialised, and no scatter-add runs;
+    the number of GEMM dispatches is the number of distinct segment lengths.
+    """
+    deltas = np.asarray(deltas, dtype=np.float64)
+    n_total = deltas.shape[0]
+    rank = deltas.shape[1]
+    n_segments = starts.shape[0]
+    gram = np.empty((n_segments, rank, rank), dtype=np.float64)
+    c_vectors = None if values is None else np.empty((n_segments, rank))
+    if n_segments == 0:
+        return gram, c_vectors
+    counts = np.diff(np.append(starts, n_total))
+    # Group equal-length segments with one argsort instead of scanning the
+    # counts array once per distinct length.
+    order = np.argsort(counts, kind="stable")
+    sorted_counts = counts[order]
+    group_bounds = np.concatenate(
+        (
+            np.zeros(1, dtype=np.int64),
+            np.flatnonzero(np.diff(sorted_counts)) + 1,
+            np.asarray([order.size], dtype=np.int64),
+        )
+    )
+    for group in range(group_bounds.size - 1):
+        segments = order[group_bounds[group] : group_bounds[group + 1]]
+        count = int(sorted_counts[group_bounds[group]])
+        positions = starts[segments][:, None] + np.arange(count)[None, :]
+        block = deltas[positions]
+        gram[segments] = np.matmul(block.transpose(0, 2, 1), block)
+        if values is not None:
+            c_vectors[segments] = np.matmul(
+                values[positions][:, None, :], block
+            )[:, 0, :]
+    return gram, c_vectors
+
+
+def segment_gram(deltas: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment Gram matrices ``Σ δδᵀ`` without an ``(m, J, J)`` temporary."""
+    gram, _ = _bucketed_gram(deltas, None, starts)
+    return gram
+
+
+def normal_equations_sorted(
+    deltas: np.ndarray,
+    values: np.ndarray,
+    starts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ``B`` (Eq. 10) and ``c`` (Eq. 11) over row-sorted entries.
+
+    ``deltas``/``values`` must be ordered so each row's entries are
+    contiguous, with segment boundaries at ``starts``.  Returns ``B`` of
+    shape ``(n_segments, J, J)`` and ``c`` of shape ``(n_segments, J)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    b_matrices, c_vectors = _bucketed_gram(deltas, values, starts)
+    return b_matrices, c_vectors
+
+
+def concatenated_segment_starts(counts: np.ndarray) -> np.ndarray:
+    """Start offsets of each segment inside their concatenated layout.
+
+    Given per-segment lengths, returns where each segment begins once the
+    segments are packed back to back (first element 0).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
+
+
+def segment_positions(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated positions ``[s, s + c)`` for each selected segment.
+
+    Given per-segment start offsets and lengths (as in a mode context's
+    ``row_starts``/``row_counts`` restricted to one worker's rows), returns
+    the flat entry positions of all selected segments, in segment order.
+    This replaces the per-worker ``np.isin`` scan over all nnz entries with
+    an O(selected entries) gather.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    segment_of_output = np.repeat(np.arange(counts.shape[0]), counts)
+    output_starts = concatenated_segment_starts(counts)
+    offsets = np.arange(total, dtype=np.int64) - output_starts[segment_of_output]
+    return starts[segment_of_output] + offsets

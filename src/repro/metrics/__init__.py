@@ -1,6 +1,7 @@
 """Accuracy, memory and timing metrics."""
 
 from .errors import (
+    error_and_loss,
     fit,
     reconstruction_error,
     regularized_loss,
@@ -15,6 +16,7 @@ __all__ = [
     "reconstruction_error",
     "test_rmse",
     "regularized_loss",
+    "error_and_loss",
     "residuals",
     "fit",
     "rmse_of_values",

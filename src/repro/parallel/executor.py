@@ -5,66 +5,59 @@ fastest strategy for NumPy.  For completeness — and to demonstrate that the
 row independence property of Section III-B really does permit parallel
 execution — this module provides a process-pool executor that partitions the
 rows of one mode across workers, updates each partition independently with
-the same kernel, and merges the results.  Because rows are independent, the
-merged factor matrix is identical (up to floating-point associativity) to the
-serial result; a test asserts this.
+the same contraction kernel, and merges the results.  Because rows are
+independent, the merged factor matrix is identical (up to floating-point
+associativity) to the serial result; a test asserts this.
+
+Worker inputs are presliced in the parent: the sorted
+:class:`~repro.core.row_update.ModeContext` already groups each row's entries
+into one contiguous segment, so a worker's entries are gathered with an
+O(assigned entries) segment lookup instead of an ``np.isin`` scan over all
+nnz entries per worker, and each worker receives only its own slice of the
+entry arrays.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..tensor.coo import SparseTensor
-from ..core.row_update import (
-    accumulate_normal_equations,
-    build_mode_context,
-    compute_delta_block,
-    core_unfolding,
+from ..kernels import (
+    concatenated_segment_starts,
+    contract_delta_block,
+    normal_equations_sorted,
+    segment_positions,
     solve_rows,
 )
+from ..tensor.coo import SparseTensor
+from ..core.row_update import build_mode_context
 from .partition import partition_rows
 
 
 def _update_row_subset(
-    indices: np.ndarray,
-    values: np.ndarray,
-    shape: Tuple[int, ...],
+    local_indices: np.ndarray,
+    local_values: np.ndarray,
+    segment_starts: np.ndarray,
     factors: List[np.ndarray],
     core: np.ndarray,
     mode: int,
     rows: np.ndarray,
     regularization: float,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Worker: compute updated rows for a subset of mode-``mode`` row indices.
+    """Worker: solve the rows of one partition from its presliced entries.
 
-    Returns ``(rows, new_row_values)``.  Module-level so it can be pickled by
-    ``ProcessPoolExecutor``.
+    ``local_indices``/``local_values`` hold only this worker's entries,
+    ordered so each row of ``rows`` is one contiguous segment starting at
+    ``segment_starts``.  Returns ``(rows, new_row_values)``.  Module-level so
+    it can be pickled by ``ProcessPoolExecutor``.
     """
-    row_set = np.asarray(rows, dtype=np.int64)
-    mask = np.isin(indices[:, mode], row_set)
-    local_idx = indices[mask]
-    local_val = values[mask]
-    if local_idx.shape[0] == 0:
-        return row_set, factors[mode][row_set]
-
-    core_unf = core_unfolding(core, mode)
-    deltas = compute_delta_block(local_idx, factors, core_unf, mode)
-    # Map each entry to the position of its row inside row_set.
-    order = np.argsort(row_set, kind="stable")
-    sorted_rows = row_set[order]
-    positions_sorted = np.searchsorted(sorted_rows, local_idx[:, mode])
-    segment_of_entry = order[positions_sorted]
-    b_matrices, c_vectors = accumulate_normal_equations(
-        deltas, local_val, segment_of_entry, row_set.shape[0]
+    deltas = contract_delta_block(local_indices, factors, core, mode)
+    b_matrices, c_vectors = normal_equations_sorted(
+        deltas, local_values, segment_starts
     )
-    new_rows = factors[mode][row_set].copy()
-    touched = np.unique(segment_of_entry)
-    solved = solve_rows(b_matrices[touched], c_vectors[touched], regularization)
-    new_rows[touched] = solved
-    return row_set, new_rows
+    return rows, solve_rows(b_matrices, c_vectors, regularization)
 
 
 def parallel_update_factor_mode(
@@ -80,8 +73,9 @@ def parallel_update_factor_mode(
     """Update ``A^(mode)`` using a pool of worker processes.
 
     Rows are partitioned by their |Ω_in| cost under the requested scheduling
-    policy, each worker solves its rows independently, and the updated rows
-    are merged into the factor matrix in place.
+    policy, each worker solves its rows independently from a presliced
+    segment of the mode-sorted entries, and the updated rows are merged into
+    the factor matrix in place.
     """
     context = build_mode_context(tensor, mode)
     if context.row_ids.shape[0] == 0:
@@ -90,11 +84,23 @@ def parallel_update_factor_mode(
     partition = partition_rows(
         context.row_counts.astype(np.float64), n_workers, scheduling
     )
-    row_groups: List[np.ndarray] = [
-        context.row_ids[partition.thread_items(worker)]
-        for worker in range(partition.n_threads)
-    ]
-    row_groups = [group for group in row_groups if group.size]
+
+    jobs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    for worker in range(partition.n_threads):
+        positions = partition.thread_items(worker)
+        if not positions.size:
+            continue
+        counts = context.row_counts[positions]
+        entry_positions = segment_positions(context.row_starts[positions], counts)
+        starts = concatenated_segment_starts(counts)
+        jobs.append(
+            (
+                context.sorted_indices[entry_positions],
+                context.sorted_values[entry_positions],
+                starts,
+                context.row_ids[positions],
+            )
+        )
 
     own_executor = executor is None
     pool = executor or ProcessPoolExecutor(max_workers=n_workers)
@@ -102,16 +108,16 @@ def parallel_update_factor_mode(
         futures = [
             pool.submit(
                 _update_row_subset,
-                tensor.indices,
-                tensor.values,
-                tensor.shape,
+                local_indices,
+                local_values,
+                starts,
                 [np.asarray(f) for f in factors],
                 np.asarray(core),
                 mode,
-                group,
+                rows,
                 regularization,
             )
-            for group in row_groups
+            for local_indices, local_values, starts, rows in jobs
         ]
         for future in futures:
             rows, new_values = future.result()

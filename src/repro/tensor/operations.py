@@ -18,11 +18,12 @@ These are the observed-entry counterparts of the dense operations in
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..exceptions import ShapeError
+from ..kernels import block_segment_starts, make_value_contractor, segment_sum
 from .coo import SparseTensor
 from .dense import unfold
 from .validation import check_mode
@@ -49,12 +50,13 @@ def factor_rows_product(
     tensor: SparseTensor,
     factors: Sequence[np.ndarray],
     skip: int = -1,
-    entry_rows: Optional[np.ndarray] = None,
+    entry_rows: Optional[Union[np.ndarray, slice]] = None,
 ) -> np.ndarray:
     """Row-wise Khatri-Rao style product of factor rows for observed entries.
 
     For every observed entry α = (i_1, ..., i_N) (or the subset selected by
-    ``entry_rows``), compute the Kronecker product over modes k ≠ ``skip`` of
+    ``entry_rows`` — an index array or a slice, the latter avoiding an index
+    copy), compute the Kronecker product over modes k ≠ ``skip`` of
     the rows ``A^(k)[i_k, :]``.  The result has shape
     ``(n_entries, prod_{k≠skip} J_k)`` with the *last* non-skipped mode varying
     fastest, matching ``core.reshape(...)`` in C order used by the solvers.
@@ -82,15 +84,29 @@ def sparse_reconstruct(
     core: np.ndarray,
     factors: Sequence[np.ndarray],
     entry_rows: Optional[np.ndarray] = None,
+    block_size: int = 262_144,
 ) -> np.ndarray:
     """Model prediction (Eq. 4) at each observed entry of ``tensor``.
 
     Returns a 1-D array aligned with ``tensor.values`` (or the selected
-    subset).  This evaluates ``sum_β G_β Π_k a^(k)_{i_k j_k}`` without ever
-    materialising a dense reconstruction.
+    subset).  This evaluates ``sum_β G_β Π_k a^(k)_{i_k j_k}`` by contracting
+    the core against the gathered factor rows mode by mode
+    (:func:`repro.kernels.contraction.contract_value_block`), so neither a
+    dense reconstruction nor the full ``(nnz, |G|)`` Kronecker weight matrix
+    is ever materialised; entries are processed in blocks of ``block_size``.
     """
-    weights = factor_rows_product(tensor, factors, skip=-1, entry_rows=entry_rows)
-    return weights @ np.asarray(core).reshape(-1)
+    if len(factors) != tensor.order:
+        raise ShapeError(
+            f"expected {tensor.order} factor matrices, got {len(factors)}"
+        )
+    idx = tensor.indices if entry_rows is None else tensor.indices[entry_rows]
+    n_entries = idx.shape[0]
+    contractor = make_value_contractor(factors, core, n_entries)
+    out = np.empty(n_entries, dtype=np.float64)
+    for start in range(0, n_entries, block_size):
+        stop = min(start + block_size, n_entries)
+        out[start:stop] = contractor(idx[start:stop])
+    return out
 
 
 def sparse_ttm_chain(
@@ -105,10 +121,24 @@ def sparse_ttm_chain(
     dense ``(I_n, prod_{k≠n} J_k)`` matrix.
     """
     mode = check_mode(mode, tensor.order)
+    if len(factors) != tensor.order:
+        raise ShapeError(
+            f"expected {tensor.order} factor matrices, got {len(factors)}"
+        )
     i_n = tensor.shape[mode]
-    weights = factor_rows_product(tensor, factors, skip=mode)
-    out = np.zeros((i_n, weights.shape[1]), dtype=np.float64)
-    np.add.at(out, tensor.indices[:, mode], tensor.values[:, None] * weights)
+    other = [k for k in range(tensor.order) if k != mode]
+    width = int(
+        np.prod([np.asarray(factors[k]).shape[1] for k in other], dtype=np.int64)
+    )
+    out = np.zeros((i_n, width), dtype=np.float64)
+    if tensor.nnz == 0:
+        return out
+    # Sort by the output row once, then reduce each row's entries as one
+    # contiguous segment instead of scatter-adding entry by entry.
+    perm = tensor.sort_by_mode(mode)
+    weights = factor_rows_product(tensor, factors, skip=mode, entry_rows=perm)
+    starts, row_ids = block_segment_starts(tensor.indices[perm, mode])
+    out[row_ids] = segment_sum(tensor.values[perm, None] * weights, starts)
     return out
 
 
@@ -128,14 +158,13 @@ def sparse_gram_chain(
     """
     mode = check_mode(mode, tensor.order)
     perm = tensor.sort_by_mode(mode)
-    idx_sorted = tensor.indices[perm]
     val_sorted = tensor.values[perm]
-    mode_idx = idx_sorted[:, mode]
+    mode_idx = tensor.indices[perm, mode]
     other = [k for k in range(tensor.order) if k != mode]
     width = int(np.prod([np.asarray(factors[k]).shape[1] for k in other], dtype=np.int64))
     gram = np.zeros((width, width), dtype=np.float64)
 
-    n_entries = idx_sorted.shape[0]
+    n_entries = mode_idx.shape[0]
     start = 0
     while start < n_entries:
         stop = min(start + block_size, n_entries)
@@ -143,17 +172,12 @@ def sparse_gram_chain(
         while stop < n_entries and mode_idx[stop] == mode_idx[stop - 1]:
             stop += 1
         block_rows = np.arange(start, stop)
-        weights = np.ones((block_rows.size, 1), dtype=np.float64)
-        for k in other:
-            rows = np.asarray(factors[k])[idx_sorted[block_rows, k]]
-            weights = (weights[:, :, None] * rows[:, None, :]).reshape(
-                block_rows.size, -1
-            )
-        local_modes = mode_idx[block_rows]
-        local_offset = local_modes - local_modes.min()
-        n_local = int(local_offset.max()) + 1 if block_rows.size else 0
-        y_block = np.zeros((n_local, width), dtype=np.float64)
-        np.add.at(y_block, local_offset, val_sorted[block_rows, None] * weights)
+        weights = factor_rows_product(
+            tensor, factors, skip=mode, entry_rows=perm[block_rows]
+        )
+        # Entries are mode-sorted, so each Y row is one contiguous run.
+        starts, _ = block_segment_starts(mode_idx[block_rows])
+        y_block = segment_sum(val_sorted[block_rows, None] * weights, starts)
         gram += y_block.T @ y_block
         start = stop
     return gram

@@ -1,0 +1,188 @@
+"""Unit and regression tests for the contraction-ordered kernel subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.row_update import (
+    accumulate_normal_equations,
+    brute_force_row_update,
+    build_mode_context,
+    compute_delta_block,
+    core_unfolding,
+    update_factor_mode,
+)
+from repro.kernels import (
+    block_segment_starts,
+    contract_delta_block,
+    contract_value_block,
+    normal_equations_sorted,
+    segment_gram,
+    segment_positions,
+    segment_sum,
+    solve_rows,
+)
+from repro.kernels import contraction as contraction_module
+from repro.tensor import SparseTensor, factor_rows_product
+
+
+def random_problem(rng, shape, ranks, nnz):
+    """A random sparse tensor with matching random factors and core."""
+    indices = np.stack([rng.integers(0, d, size=nnz) for d in shape], axis=1)
+    tensor = SparseTensor(
+        indices, rng.uniform(0.5, 1.5, size=nnz), shape
+    ).deduplicate()
+    factors = [rng.uniform(0.1, 1.0, size=(d, r)) for d, r in zip(shape, ranks)]
+    core = rng.uniform(-1.0, 1.0, size=ranks)
+    return tensor, factors, core
+
+
+# Ragged ranks across orders 3-5 exercise every contraction schedule.
+PROBLEMS = [
+    ((8, 7, 6), (3, 2, 4), 60),
+    ((6, 5, 7, 4), (2, 3, 2, 4), 80),
+    ((5, 4, 6, 3, 4), (2, 3, 2, 4, 2), 90),
+]
+
+
+class TestContraction:
+    @pytest.mark.parametrize("shape,ranks,nnz", PROBLEMS)
+    def test_delta_matches_seed_kernel_every_mode(self, rng, shape, ranks, nnz):
+        """The contraction gives the same δ as the Kronecker kernel."""
+        tensor, factors, core = random_problem(rng, shape, ranks, nnz)
+        for mode in range(tensor.order):
+            expected = compute_delta_block(
+                tensor.indices, factors, core_unfolding(core, mode), mode
+            )
+            actual = contract_delta_block(tensor.indices, factors, core, mode)
+            np.testing.assert_allclose(actual, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("shape,ranks,nnz", PROBLEMS)
+    def test_value_block_matches_kronecker_weights(self, rng, shape, ranks, nnz):
+        """Full contraction equals the (nnz, |G|) weight matrix route."""
+        tensor, factors, core = random_problem(rng, shape, ranks, nnz)
+        weights = factor_rows_product(tensor, factors, skip=-1)
+        expected = weights @ core.reshape(-1)
+        actual = contract_value_block(tensor.indices, factors, core)
+        np.testing.assert_allclose(actual, expected, atol=1e-12)
+
+    def test_batched_fallback_matches_precontraction(self, rng, monkeypatch):
+        """A zero table budget forces the GEMM path; results are identical."""
+        tensor, factors, core = random_problem(rng, (9, 8, 7), (3, 4, 2), 70)
+        with_tables = contract_delta_block(tensor.indices, factors, core, 1)
+        monkeypatch.setattr(contraction_module, "PRECONTRACT_CELL_BUDGET", 0)
+        batched = contract_delta_block(tensor.indices, factors, core, 1)
+        np.testing.assert_allclose(batched, with_tables, atol=1e-12)
+
+    def test_empty_entry_block(self, rng):
+        _, factors, core = random_problem(rng, (5, 4, 3), (2, 2, 2), 10)
+        empty = np.empty((0, 3), dtype=np.int64)
+        assert contract_delta_block(empty, factors, core, 0).shape == (0, 2)
+        assert contract_value_block(empty, factors, core).shape == (0,)
+
+
+class TestSegments:
+    def test_block_segment_starts(self):
+        ids = np.array([4, 4, 7, 9, 9, 9])
+        starts, run_ids = block_segment_starts(ids)
+        np.testing.assert_array_equal(starts, [0, 2, 3])
+        np.testing.assert_array_equal(run_ids, [4, 7, 9])
+        empty_starts, empty_ids = block_segment_starts(np.empty(0, dtype=np.int64))
+        assert empty_starts.size == 0 and empty_ids.size == 0
+
+    def test_segment_sum_and_gram_match_manual(self, rng):
+        deltas = rng.standard_normal((12, 3))
+        starts = np.array([0, 5, 6])
+        sums = segment_sum(deltas, starts)
+        grams = segment_gram(deltas, starts)
+        bounds = [(0, 5), (5, 6), (6, 12)]
+        for row, (lo, hi) in enumerate(bounds):
+            np.testing.assert_allclose(sums[row], deltas[lo:hi].sum(axis=0))
+            np.testing.assert_allclose(grams[row], deltas[lo:hi].T @ deltas[lo:hi])
+
+    def test_normal_equations_match_seed_accumulation(self, rng):
+        """reduceat/bucketed reductions equal the np.add.at seed kernel."""
+        deltas = rng.standard_normal((20, 4))
+        values = rng.standard_normal(20)
+        segment_of_entry = np.sort(rng.integers(0, 5, size=20))
+        starts, seg_ids = block_segment_starts(segment_of_entry)
+        b_new, c_new = normal_equations_sorted(deltas, values, starts)
+        b_old, c_old = accumulate_normal_equations(deltas, values, segment_of_entry, 5)
+        np.testing.assert_allclose(b_new, b_old[seg_ids], atol=1e-12)
+        np.testing.assert_allclose(c_new, c_old[seg_ids], atol=1e-12)
+
+    def test_segment_positions_gathers_selected_ranges(self):
+        starts = np.array([0, 3, 10])
+        counts = np.array([2, 3, 1])
+        np.testing.assert_array_equal(
+            segment_positions(starts, counts), [0, 1, 3, 4, 5, 10]
+        )
+        assert segment_positions(np.empty(0), np.empty(0)).size == 0
+
+
+class TestUpdateFactorModeKernels:
+    def test_regression_contracted_matches_seed_kernel(self):
+        """Fixed-seed tensor: both kernels produce the same factor update."""
+        rng = np.random.default_rng(20180416)
+        tensor, factors, core = random_problem(rng, (12, 10, 9), (4, 3, 5), 180)
+        for mode in range(tensor.order):
+            via_kron = [f.copy() for f in factors]
+            via_contraction = [f.copy() for f in factors]
+            update_factor_mode(tensor, via_kron, core, mode, 0.01, kernel="kron")
+            update_factor_mode(
+                tensor, via_contraction, core, mode, 0.01, kernel="contracted"
+            )
+            np.testing.assert_allclose(
+                via_contraction[mode], via_kron[mode], atol=1e-10
+            )
+
+    def test_unknown_kernel_rejected(self, rng):
+        tensor, factors, core = random_problem(rng, (5, 4, 3), (2, 2, 2), 20)
+        with pytest.raises(ValueError, match="unknown kernel"):
+            update_factor_mode(tensor, factors, core, 0, 0.01, kernel="turbo")
+
+    @pytest.mark.parametrize("shape,ranks,nnz", PROBLEMS)
+    def test_matches_brute_force_including_ridge_corner(self, rng, shape, ranks, nnz):
+        """Contracted updates equal the per-row brute force, λ > 0 and λ = 0."""
+        tensor, factors, core = random_problem(rng, shape, ranks, nnz)
+        for regularization in (0.05, 0.0):
+            for mode in range(tensor.order):
+                fresh = [f.copy() for f in factors]
+                update_factor_mode(tensor, fresh, core, mode, regularization)
+                ctx = build_mode_context(tensor, mode)
+                for row in ctx.row_ids[:3]:
+                    expected = brute_force_row_update(
+                        tensor, factors, core, mode, int(row), regularization
+                    )
+                    np.testing.assert_allclose(
+                        fresh[mode][row], expected, atol=1e-8
+                    )
+
+    def test_rows_without_observations_untouched(self, rng):
+        """Empty rows (no entries in Ω^(n)_i) keep their factor values."""
+        shape = (10, 6, 5)
+        nnz = 40
+        indices = np.stack(
+            [
+                rng.integers(0, 5, size=nnz),  # rows 5..9 of mode 0 stay empty
+                rng.integers(0, shape[1], size=nnz),
+                rng.integers(0, shape[2], size=nnz),
+            ],
+            axis=1,
+        )
+        tensor = SparseTensor(indices, rng.uniform(0.5, 1.5, nnz), shape).deduplicate()
+        factors = [rng.uniform(0.1, 1.0, size=(d, 3)) for d in shape]
+        core = rng.uniform(-1.0, 1.0, size=(3, 3, 3))
+        before = factors[0].copy()
+        update_factor_mode(tensor, factors, core, 0, 0.01)
+        np.testing.assert_array_equal(factors[0][5:], before[5:])
+        assert not np.allclose(factors[0][:5], before[:5])
+
+    def test_solve_rows_exported_from_kernels(self, rng):
+        b = rng.standard_normal((3, 2, 2))
+        b = np.einsum("nij,nkj->nik", b, b)
+        c = rng.standard_normal((3, 2))
+        solutions = solve_rows(b, c, 0.1)
+        for row in range(3):
+            np.testing.assert_allclose(
+                solutions[row], np.linalg.solve(b[row] + 0.1 * np.eye(2), c[row])
+            )

@@ -25,6 +25,7 @@ class TestRegistry:
             "figure11",
             "table5",
             "table6",
+            "bench-kernels",
         }
         assert expected == set(EXPERIMENTS)
 
