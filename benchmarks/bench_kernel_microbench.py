@@ -1,10 +1,11 @@
-"""Microbenchmark: seed Kronecker kernel vs. contraction-ordered kernel.
+"""Microbenchmark: seed Kronecker kernel vs. contraction kernel backends.
 
 Unlike the figure/table benchmarks, this one measures the repository's own
 perf trajectory: one ``update_factor_mode`` sweep with the seed kernel
 (``kernel="kron"``) against the contraction kernel (``kernel="contracted"``)
-across an (nnz, rank, order) grid, with a brute-force accuracy check on the
-contracted result.
+under every available execution backend (``numpy``, ``threaded``, ``numba``
+where installed) across an (nnz, rank, order) grid, with a brute-force
+accuracy check on the contracted result.
 
 Run as a pytest benchmark (small grid) or as a script::
 
@@ -22,7 +23,10 @@ import argparse
 import os
 import sys
 
+import pytest
+
 from repro.experiments.report import render_table
+from repro.kernels.backends import available_backends
 from repro.kernels.microbench import (
     DEFAULT_GRID,
     SMALL_GRID,
@@ -31,6 +35,7 @@ from repro.kernels.microbench import (
 )
 
 
+@pytest.mark.slow
 def test_kernel_microbench_small_grid(benchmark):
     """Contracted kernel beats the seed kernel on every small-grid cell."""
     payload = benchmark.pedantic(
@@ -46,6 +51,15 @@ def test_kernel_microbench_small_grid(benchmark):
         # assertion flaky when a tiny cell hits scheduler noise on a loaded
         # machine; real regressions show up as order-of-magnitude drops.
         assert row["speedup"] > 0.8, f"contracted kernel regressed on {row}"
+        # The recorded selection is the measured argmin, so it can never
+        # name a backend that timed slower than another candidate.
+        times = {
+            name: row.get(
+                "seconds_contracted" if name == "numpy" else f"seconds_{name}"
+            )
+            for name in payload["backends"]
+        }
+        assert times[row["backend_selected"]] == min(times.values())
 
 
 def main(argv=None) -> int:
@@ -68,6 +82,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats per cell (best-of)"
     )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        choices=available_backends(),
+        help="execution backends to time (default: all registered)",
+    )
     args = parser.parse_args(argv)
 
     grid = SMALL_GRID if args.small else DEFAULT_GRID
@@ -77,7 +98,7 @@ def main(argv=None) -> int:
         # is never overwritten by 3-cell data.
         filename = "BENCH_kernels_small.json" if args.small else "BENCH_kernels.json"
         output = os.path.join(os.path.dirname(__file__), "..", filename)
-    payload = run_microbench(grid=grid, repeats=args.repeats)
+    payload = run_microbench(grid=grid, repeats=args.repeats, backends=args.backends)
     path = write_payload(payload, os.path.normpath(output))
     print(render_table(payload["rows"], title="Kernel microbench - kron vs contracted"))
     print(f"wrote {path}")

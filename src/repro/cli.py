@@ -24,6 +24,7 @@ import numpy as np
 from .baselines import CpAls, SHot, TuckerAls, TuckerCsf, TuckerWopt
 from .core import PTucker, PTuckerApprox, PTuckerCache, PTuckerConfig, TuckerResult
 from .core.sampled import PTuckerSampled
+from .kernels.backends import backend_names_for_cli
 from .tensor import SparseTensor, load_text
 
 ALGORITHMS = {
@@ -80,6 +81,14 @@ def _build_parser() -> argparse.ArgumentParser:
     factorize.add_argument(
         "--ranks", type=int, nargs="+", required=True, help="Tucker ranks, one per mode"
     )
+    factorize.add_argument(
+        "--backend",
+        choices=backend_names_for_cli(),
+        default="numpy",
+        help="kernel execution strategy ('auto' picks the measured-fastest "
+        "per block; 'numba' needs the optional JIT extra and otherwise "
+        "falls back to numpy)",
+    )
     factorize.add_argument("--regularization", type=float, default=0.01)
     factorize.add_argument("--max-iterations", type=int, default=20)
     factorize.add_argument("--tolerance", type=float, default=1e-4)
@@ -127,6 +136,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
         max_iterations=args.max_iterations,
         tolerance=args.tolerance,
         seed=args.seed,
+        backend=args.backend,
     )
     solver = ALGORITHMS[args.algorithm](config)
     result = solver.fit(train)

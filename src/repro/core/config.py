@@ -46,6 +46,11 @@ class PTuckerConfig:
         Optional intermediate-data budget; exceeding it raises
         :class:`~repro.exceptions.OutOfMemoryError` (used to reproduce the
         paper's O.O.M. results).
+    backend:
+        Kernel execution strategy for the row update: ``"numpy"`` (default),
+        ``"threaded"``, ``"numba"`` (falls back to numpy where the JIT stack
+        is absent) or ``"auto"`` for per-block autotuned dispatch.  See
+        :mod:`repro.kernels.backends`.
     """
 
     ranks: Tuple[int, ...] = (10,)
@@ -61,6 +66,7 @@ class PTuckerConfig:
     track_memory: bool = True
     memory_budget_bytes: Optional[int] = None
     block_size: int = 200_000
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.regularization < 0:
@@ -79,6 +85,13 @@ class PTuckerConfig:
             raise ShapeError("truncation_rate must be in (0, 1)")
         if self.block_size < 1:
             raise ShapeError("block_size must be positive")
+        from ..kernels.backends import backend_names_for_cli
+
+        if self.backend not in backend_names_for_cli():
+            raise ShapeError(
+                f"unknown kernel backend {self.backend!r}; "
+                f"choose one of {backend_names_for_cli()}"
+            )
 
     def resolve_ranks(self, order: int) -> Tuple[int, ...]:
         """Broadcast a single rank to every mode and validate the count."""

@@ -132,6 +132,7 @@ class PTucker:
                         block_size=config.block_size,
                         memory=memory,
                         delta_provider=provider,
+                        backend=config.backend,
                     )
                     scheduler.record_mode(contexts[mode].row_counts)
                     self._after_mode_update(tensor, factors, core, mode, previous)

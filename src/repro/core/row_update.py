@@ -35,11 +35,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..kernels import (
+from ..kernels import (  # noqa: F401 - re-exported for downstream callers
     make_delta_contractor,
     normal_equations_sorted,
+    resolve_backend,
     solve_rows,
 )
+from ..kernels.backends import BackendSpec
 from ..metrics.memory import BYTES_PER_FLOAT, MemoryTracker
 from ..tensor.coo import SparseTensor
 
@@ -182,6 +184,7 @@ def update_factor_mode(
     memory: Optional[MemoryTracker] = None,
     delta_provider=None,
     kernel: str = "contracted",
+    backend: BackendSpec = "numpy",
 ) -> np.ndarray:
     """Update every row of factor matrix ``A^(mode)`` in place and return it.
 
@@ -196,10 +199,20 @@ def update_factor_mode(
     (default) uses the progressive core contraction and segment-sorted
     reductions of :mod:`repro.kernels`; ``"kron"`` uses the seed Kronecker +
     scatter-add kernel, kept for benchmarking and regression comparison.
+
+    ``backend`` selects the execution strategy of the contracted kernel: a
+    registered backend name (``"numpy"``, ``"threaded"``, ``"numba"`` where
+    installed), ``"auto"`` for per-block autotuned dispatch, or a
+    :class:`~repro.kernels.backends.KernelBackend` instance.  All backends
+    compute the same values up to floating-point associativity; the legacy
+    ``kernel="kron"`` path ignores the knob.  With a ``delta_provider`` the
+    backend still runs the reduction and solve, but δ comes from the
+    provider.
     """
     if kernel not in ("contracted", "kron"):
         raise ValueError(f"unknown kernel {kernel!r}; use 'contracted' or 'kron'")
     ctx = context if context is not None else build_mode_context(tensor, mode)
+    kernel_backend = resolve_backend(backend)
     factor = factors[mode]
     rank = factor.shape[1]
     use_legacy = kernel == "kron"
@@ -222,23 +235,26 @@ def update_factor_mode(
         memory.allocate((2 * rank * rank + 2 * rank) * BYTES_PER_FLOAT, "row-update")
 
     n_entries = ctx.sorted_indices.shape[0]
-    contractor = None
+    ne_kernel = None
     if delta_provider is None and not use_legacy:
-        # Entry-independent contraction state (precontraction tables) is
-        # built once per sweep and shared by every block below.
-        contractor = make_delta_contractor(factors, core, mode, n_entries)
+        # Entry-independent kernel state (precontraction tables, thread
+        # pools, JIT specialisations) is built once per sweep and shared by
+        # every block below.
+        ne_kernel = kernel_backend.make_normal_equations_kernel(
+            factors, core, mode, n_entries
+        )
     for start in range(0, n_entries, block_size):
         stop = min(start + block_size, n_entries)
         block_slice = slice(start, stop)
-        if delta_provider is not None:
-            deltas = delta_provider(ctx.perm[block_slice], mode)
-        elif use_legacy:
-            deltas = compute_delta_block(
-                ctx.sorted_indices[block_slice], factors, core_unfolded, mode
-            )
-        else:
-            deltas = contractor(ctx.sorted_indices[block_slice])
         if use_legacy:
+            # The provider (cache variant) takes precedence over the seed
+            # δ kernel here too, matching the contracted branch below.
+            if delta_provider is not None:
+                deltas = delta_provider(ctx.perm[block_slice], mode)
+            else:
+                deltas = compute_delta_block(
+                    ctx.sorted_indices[block_slice], factors, core_unfolded, mode
+                )
             partial_b, partial_c = accumulate_normal_equations(
                 deltas,
                 ctx.sorted_values[block_slice],
@@ -257,13 +273,21 @@ def update_factor_mode(
             last = np.searchsorted(ctx.row_starts, stop, side="left")
             local_rows = np.arange(first, last)
             local_starts = np.maximum(ctx.row_starts[first:last] - start, 0)
-            partial_b, partial_c = normal_equations_sorted(
-                deltas, ctx.sorted_values[block_slice], local_starts
-            )
+            if delta_provider is not None:
+                deltas = delta_provider(ctx.perm[block_slice], mode)
+                partial_b, partial_c = kernel_backend.normal_equations_sorted(
+                    deltas, ctx.sorted_values[block_slice], local_starts
+                )
+            else:
+                partial_b, partial_c = ne_kernel(
+                    ctx.sorted_indices[block_slice],
+                    ctx.sorted_values[block_slice],
+                    local_starts,
+                )
             b_matrices[local_rows] += partial_b
             c_vectors[local_rows] += partial_c
 
-    new_rows = solve_rows(b_matrices, c_vectors, regularization)
+    new_rows = kernel_backend.solve_rows(b_matrices, c_vectors, regularization)
     factor[ctx.row_ids] = new_rows
 
     if memory is not None:

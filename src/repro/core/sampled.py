@@ -121,6 +121,7 @@ class PTuckerSampled(PTucker):
                         context=sample_contexts[mode],
                         block_size=config.block_size,
                         memory=memory,
+                        backend=config.backend,
                     )
                     scheduler.record_mode(sample_contexts[mode].row_counts)
                 error, loss = error_and_loss(

@@ -2,11 +2,13 @@
 
 Not one of the paper's figures — this experiment records the repository's own
 perf trajectory.  It runs the seed Kronecker kernel against the
-contraction-ordered kernel of :mod:`repro.kernels` on the same small default
-(nnz, rank, order) grid as ``benchmarks/run_benchmarks.py`` — including the
-nnz=100k cell the perf gate tracks — and writes ``BENCH_kernels.json`` into
-the current working directory, so re-running it from the repo root refreshes
-the committed record rather than degrading it to a smoke payload.
+contraction-ordered kernel of :mod:`repro.kernels` under every available
+execution backend (``numpy``, ``threaded``, ``numba`` where installed) on
+the same small default (nnz, rank, order) grid as
+``benchmarks/run_benchmarks.py`` — including the nnz=100k cell the perf gate
+tracks — and writes ``BENCH_kernels.json`` into the current working
+directory, so re-running it from the repo root refreshes the committed
+record rather than degrading it to a smoke payload.
 """
 
 from __future__ import annotations
@@ -25,16 +27,25 @@ def run(
     grid: Optional[Sequence[Dict[str, int]]] = None,
     repeats: int = 3,
     output: Optional[str] = OUTPUT_FILENAME,
+    backends: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
-    """Time the kron vs. contracted kernels and report per-cell speedups."""
+    """Time the kron kernel vs. the contracted-kernel backends per cell."""
     payload = run_microbench(
-        grid=DEFAULT_GRID if grid is None else grid, repeats=repeats
+        grid=DEFAULT_GRID if grid is None else grid,
+        repeats=repeats,
+        backends=backends,
     )
     result = ExperimentResult(name=NAME)
     result.add_rows(payload["rows"])
     result.add_note(
         "speedup = seed Kronecker kernel time / contraction kernel time "
-        "for one update_factor_mode sweep of mode 0"
+        "(numpy backend) for one update_factor_mode sweep of mode 0"
+    )
+    result.add_note(
+        "backends timed: "
+        + ", ".join(payload["backends"])
+        + "; backend_selected = measured-fastest per cell "
+        "(the autotuner's choice for that shape class)"
     )
     result.add_note(
         "max |error| vs brute force: "

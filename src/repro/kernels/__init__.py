@@ -43,6 +43,33 @@ largest temporary of ``O(m · |G| / max_k J_k)`` — and for the reductions,
 while per-row Gram matrices are accumulated as segmented δᵀδ products so the
 ``(m, J, J)`` outer-product array is never materialised.
 
+Backend selection
+-----------------
+The three hot primitives — ``contract_delta_block``,
+``normal_equations_sorted`` and ``solve_rows`` — are pluggable through the
+:mod:`~repro.kernels.backends` registry.  Every consumer of the row update
+accepts a ``backend=`` knob (``update_factor_mode``, ``PTuckerConfig``,
+the parallel executor, the CLI's ``--backend`` and the microbench grid):
+
+* ``"numpy"`` (default) — the serial reference path described above.
+* ``"threaded"`` — splits each mode-sorted entry block at *segment
+  boundaries* and runs the contraction + ``reduceat`` passes on a shared
+  process-global ``ThreadPoolExecutor``; row independence (paper
+  Section III-B) means the chunks write disjoint slices of ``(B, c)``
+  with no locks, and the GEMMs inside release the GIL.  Worker count
+  follows the CPU count (override with ``REPRO_KERNEL_THREADS``).
+* ``"numba"`` — fused ``@njit(parallel=True)`` row loops, available only
+  when ``numba`` is importable (``pip install .[numba]``); the name
+  resolves to the NumPy reference elsewhere, so configs stay portable.
+* ``"auto"`` — per-block autotuned dispatch: the first block of each
+  (order, rank profile, block size) shape class times the candidate
+  backends and every later block runs the measured winner (cached in
+  process, and across processes via ``REPRO_AUTOTUNE_CACHE``).
+
+All backends compute identical values up to floating-point associativity;
+the equivalence is property-tested across orders, ragged ranks, empty
+rows and single-entry segments.
+
 Submodules
 ----------
 * :mod:`~repro.kernels.contraction` — progressive core contraction (δ blocks
@@ -50,7 +77,9 @@ Submodules
 * :mod:`~repro.kernels.segments` — segment-sorted reductions (sums, Gram
   matrices, normal equations) and segment gather helpers.
 * :mod:`~repro.kernels.solve` — the batched ridge row solve.
-* :mod:`~repro.kernels.microbench` — old-vs-new kernel timing grids
+* :mod:`~repro.kernels.backends` — the named execution strategies and the
+  autotuner behind the ``backend=`` knob.
+* :mod:`~repro.kernels.microbench` — kernel/backend timing grids
   (imported lazily; it depends on the tensor and solver layers).
 """
 
@@ -69,8 +98,20 @@ from .segments import (
     segment_sum,
 )
 from .solve import solve_rows
+from .backends import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 
 __all__ = [
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "contract_delta_block",
     "contract_value_block",
     "make_delta_contractor",

@@ -1,0 +1,63 @@
+"""Kernel backend registry: named execution strategies for the hot primitives.
+
+See :mod:`repro.kernels.backends.base` for the backend contract.  Importing
+this package registers the built-in backends:
+
+* ``"numpy"`` — the serial reference implementation (always available);
+* ``"threaded"`` — segment-aligned chunks on a shared-memory thread pool
+  (:mod:`~repro.kernels.backends.threaded`);
+* ``"numba"`` — fused ``@njit(parallel=True)`` row loops, registered only
+  when ``import numba`` succeeds (:mod:`~repro.kernels.backends.numba_backend`);
+  requesting it by name without the dependency silently falls back to
+  ``"numpy"``.
+
+``"auto"`` resolves to the autotuned dispatcher of
+:mod:`~repro.kernels.backends.autotune`, which measures the candidates per
+(order, rank profile, block size) shape class and always executes the
+measured-fastest one.
+"""
+
+from .base import (
+    BackendSpec,
+    KernelBackend,
+    NumpyBackend,
+    OPTIONAL_BACKENDS,
+    available_backends,
+    backend_names_for_cli,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from .threaded import ThreadedBackend
+from .autotune import AutoBackend, Autotuner, block_size_bucket, shape_class_key
+
+register_backend(NumpyBackend())
+register_backend(ThreadedBackend())
+
+try:  # optional dependency: register only where the JIT stack exists
+    from .numba_backend import NumbaBackend
+except ImportError:  # pragma: no cover - exercised on numba-less hosts
+    NumbaBackend = None
+else:
+    register_backend(NumbaBackend())
+
+HAVE_NUMBA = NumbaBackend is not None
+
+__all__ = [
+    "AutoBackend",
+    "Autotuner",
+    "BackendSpec",
+    "HAVE_NUMBA",
+    "KernelBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "OPTIONAL_BACKENDS",
+    "ThreadedBackend",
+    "available_backends",
+    "backend_names_for_cli",
+    "block_size_bucket",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "shape_class_key",
+]

@@ -1,0 +1,201 @@
+"""Backend interface and registry for the three hot kernel primitives.
+
+A *backend* is a named implementation of the performance-critical inner
+loops of the row-wise update: the δ contraction
+(:func:`~repro.kernels.contraction.contract_delta_block`), the per-row
+normal-equation reduction
+(:func:`~repro.kernels.segments.normal_equations_sorted`) and the batched
+row solve (:func:`~repro.kernels.solve.solve_rows`).  Every backend must
+produce the same values as the reference NumPy implementation up to
+floating-point associativity; only the execution strategy (serial NumPy,
+shared-memory threads, JIT compilation, ...) may differ.
+
+Backends register themselves by name in a process-global registry;
+:func:`resolve_backend` maps the user-facing ``backend=`` knob (a name, a
+:class:`KernelBackend` instance, or ``"auto"``) to a concrete backend.  An
+optional backend whose dependency is missing (``numba``) simply never
+registers — requesting it by name then silently falls back to the NumPy
+reference, matching the "optional acceleration, identical results"
+contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..contraction import make_delta_contractor
+from ..segments import normal_equations_sorted
+from ..solve import solve_rows
+
+#: Signature of a per-sweep normal-equations kernel: maps one mode-sorted
+#: entry block ``(indices, values, segment_starts)`` to its per-row
+#: ``(B, c)`` stacks.
+NormalEquationsKernel = Callable[
+    [np.ndarray, np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]
+]
+
+
+class KernelBackend:
+    """Base class: the reference (serial NumPy) execution strategy.
+
+    Subclasses override :meth:`make_normal_equations_kernel` (the fused
+    δ-contraction + segmented-reduction pass that dominates a sweep) and,
+    optionally, the individual primitives.  The base implementations are
+    the plain :mod:`repro.kernels` functions, so a subclass only has to
+    replace the pieces its strategy actually accelerates.
+    """
+
+    #: Registry name; subclasses must override.
+    name = "numpy"
+
+    # -- per-sweep fused pass -------------------------------------------
+    def make_normal_equations_kernel(
+        self,
+        factors: Sequence[np.ndarray],
+        core: np.ndarray,
+        mode: int,
+        expected_entries: int,
+    ) -> NormalEquationsKernel:
+        """Build the per-sweep ``(indices, values, starts) -> (B, c)`` kernel.
+
+        Entry-independent state (precontraction tables, compiled
+        specialisations, thread pools) is set up here, once per sweep; the
+        returned callable is then invoked per ``block_size`` chunk of the
+        mode-sorted entries.  ``starts`` are the block-local segment start
+        offsets (first element 0) and the returned stacks have one row per
+        segment.
+        """
+        contractor = make_delta_contractor(factors, core, mode, expected_entries)
+
+        def kernel(
+            indices_block: np.ndarray,
+            values_block: np.ndarray,
+            starts: np.ndarray,
+        ) -> Tuple[np.ndarray, np.ndarray]:
+            deltas = contractor(indices_block)
+            return self.normal_equations_sorted(deltas, values_block, starts)
+
+        return kernel
+
+    # -- individual primitives ------------------------------------------
+    def contract_delta_block(
+        self,
+        indices_block: np.ndarray,
+        factors: Sequence[np.ndarray],
+        core: np.ndarray,
+        mode: int,
+    ) -> np.ndarray:
+        """δ vectors (Eq. 12) for one entry block."""
+        indices_block = np.asarray(indices_block)
+        contractor = make_delta_contractor(
+            factors, core, mode, indices_block.shape[0]
+        )
+        return contractor(indices_block)
+
+    def normal_equations_sorted(
+        self,
+        deltas: np.ndarray,
+        values: np.ndarray,
+        starts: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row ``B`` (Eq. 10) and ``c`` (Eq. 11) over row-sorted entries."""
+        return normal_equations_sorted(deltas, values, starts)
+
+    def solve_rows(
+        self,
+        b_matrices: np.ndarray,
+        c_vectors: np.ndarray,
+        regularization: float,
+    ) -> np.ndarray:
+        """Batched per-row ridge solve (Eq. 9)."""
+        return solve_rows(b_matrices, c_vectors, regularization)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class NumpyBackend(KernelBackend):
+    """The always-available serial NumPy reference backend.
+
+    Identical to :class:`KernelBackend`'s defaults; the subclass exists so
+    the registry and reprs name the strategy explicitly.
+    """
+
+    name = "numpy"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+#: Names that resolve even when their backend failed to register: optional
+#: accelerators degrade to the NumPy reference instead of erroring.
+OPTIONAL_BACKENDS = ("numba",)
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add ``backend`` to the registry under its ``name`` (last wins)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Names of the registered backends, reference backend first."""
+    names = sorted(_REGISTRY)
+    if "numpy" in names:
+        names.remove("numpy")
+        names.insert(0, "numpy")
+    return names
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a registered backend by name.
+
+    Optional backends (``numba``) whose dependency is absent fall back to
+    the NumPy reference silently; any other unknown name raises.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        if name in OPTIONAL_BACKENDS:
+            return _REGISTRY["numpy"]
+        raise KeyError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{available_backends()} (or 'auto')"
+        ) from None
+
+
+BackendSpec = Union[str, KernelBackend, None]
+
+
+def resolve_backend(spec: BackendSpec) -> KernelBackend:
+    """Map a ``backend=`` argument to a concrete :class:`KernelBackend`.
+
+    ``None`` means the reference backend; ``"auto"`` returns the shared
+    autotuned dispatcher; a :class:`KernelBackend` instance passes through
+    unchanged; any other string is a registry lookup.
+    """
+    if spec is None:
+        return _REGISTRY["numpy"]
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec == "auto":
+        from .autotune import default_auto_backend
+
+        return default_auto_backend()
+    return get_backend(spec)
+
+
+def backend_names_for_cli() -> List[str]:
+    """The valid ``backend=`` strings: registered names plus the specials.
+
+    Optional backends are listed even when unavailable (they resolve to the
+    reference), so configs and CLI invocations stay portable across
+    machines with and without the optional dependency.
+    """
+    names = set(available_backends()) | set(OPTIONAL_BACKENDS)
+    return ["auto"] + sorted(names)

@@ -1,10 +1,16 @@
-"""Old-vs-new kernel microbenchmarks across (nnz, rank, order) grids.
+"""Kernel and backend microbenchmarks across (nnz, rank, order) grids.
 
 Times one full :func:`~repro.core.row_update.update_factor_mode` sweep of
 mode 0 with the seed Kronecker kernel (``kernel="kron"``) against the
-contraction-ordered kernel (``kernel="contracted"``) on random sparse
-problems, and verifies the contracted result against
+contraction-ordered kernel (``kernel="contracted"``) under every available
+execution backend (``numpy``, ``threaded``, ``numba`` where installed — see
+:mod:`repro.kernels.backends`), and verifies the contracted result against
 :func:`~repro.core.row_update.brute_force_row_update` on a handful of rows.
+
+Each row records per-backend wall times (``seconds_<backend>``), the
+measured-fastest backend (``backend_selected`` — by construction never a
+backend that measured slower), and the machine facts that make timings
+comparable across refreshes: CPU count and the BLAS thread count.
 
 The resulting rows are what ``benchmarks/run_benchmarks.py`` and
 ``python -m repro.experiments bench-kernels`` serialise into
@@ -18,6 +24,7 @@ the kernel functions.
 from __future__ import annotations
 
 import json
+import os
 import platform
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -30,6 +37,7 @@ from ..core.row_update import (
     update_factor_mode,
 )
 from ..tensor.coo import SparseTensor
+from .backends import HAVE_NUMBA, available_backends
 
 #: Full default grid: small enough for minutes-scale runs, but it includes
 #: the (nnz=100k, rank=10, order=3) cell the perf acceptance gate reads.
@@ -50,6 +58,37 @@ SMALL_GRID: Tuple[Dict[str, int], ...] = (
     {"nnz": 5_000, "rank": 6, "order": 3},
     {"nnz": 2_000, "rank": 3, "order": 4},
 )
+
+
+def blas_thread_count() -> Optional[int]:
+    """Threads the BLAS layer uses, best effort (None when undeterminable).
+
+    Tries ``threadpoolctl`` (authoritative) first, then the conventional
+    environment variables; recorded per benchmark run because BLAS
+    threading changes what a fair per-backend comparison means.
+    """
+    try:
+        from threadpoolctl import threadpool_info
+
+        counts = [
+            info.get("num_threads")
+            for info in threadpool_info()
+            if info.get("user_api") == "blas"
+        ]
+        counts = [c for c in counts if c]
+        if counts:
+            return max(counts)
+    except ImportError:
+        pass
+    for variable in (
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+        "OMP_NUM_THREADS",
+    ):
+        value = os.environ.get(variable, "").strip()
+        if value.isdigit():
+            return int(value)
+    return None
 
 
 def _random_problem(
@@ -77,6 +116,7 @@ def _time_update(
     kernel: str,
     repeats: int,
     regularization: float = 0.01,
+    backend: str = "numpy",
 ) -> float:
     """Best-of-``repeats`` wall time of one mode-0 factor update."""
     context = build_mode_context(tensor, 0)
@@ -85,7 +125,14 @@ def _time_update(
         fresh = [np.array(f, copy=True) for f in factors]
         start = perf_counter()
         update_factor_mode(
-            tensor, fresh, core, 0, regularization, context=context, kernel=kernel
+            tensor,
+            fresh,
+            core,
+            0,
+            regularization,
+            context=context,
+            kernel=kernel,
+            backend=backend,
         )
         best = min(best, perf_counter() - start)
     return best
@@ -124,31 +171,58 @@ def run_microbench(
     repeats: int = 3,
     seed: int = 0,
     check_rows: int = 3,
+    backends: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
-    """Run the old-vs-new kernel grid and return a JSON-serialisable payload."""
+    """Run the kernel/backend grid and return a JSON-serialisable payload.
+
+    ``backends`` restricts the timed execution backends (default: every
+    registered one).  ``seconds_contracted`` remains the serial ``numpy``
+    backend, so the kron-vs-contracted speedup column stays comparable
+    across the repository's history; the extra per-backend columns and
+    ``backend_selected`` (argmin of the measured times — exactly the choice
+    the autotuner's measurement rule makes for this shape) sit alongside.
+    """
     repeats = max(1, int(repeats))
     grid = tuple(DEFAULT_GRID if grid is None else grid)
+    backend_names = list(backends) if backends is not None else available_backends()
+    if "numpy" not in backend_names:
+        backend_names.insert(0, "numpy")
     rows: List[Dict[str, object]] = []
     for cell_seed, cell in enumerate(grid):
         nnz, rank, order = cell["nnz"], cell["rank"], cell["order"]
         tensor, factors, core = _random_problem(nnz, rank, order, seed + cell_seed)
         seconds_kron = _time_update(tensor, factors, core, "kron", repeats)
-        seconds_contracted = _time_update(tensor, factors, core, "contracted", repeats)
+        backend_seconds = {
+            name: _time_update(
+                tensor, factors, core, "contracted", repeats, backend=name
+            )
+            for name in backend_names
+        }
+        seconds_contracted = backend_seconds["numpy"]
+        selected = min(backend_seconds, key=backend_seconds.get)
         error = _brute_force_error(tensor, factors, core, n_rows=check_rows)
-        rows.append(
-            {
-                "nnz": int(tensor.nnz),
-                "rank": int(rank),
-                "order": int(order),
-                "seconds_kron": seconds_kron,
-                "seconds_contracted": seconds_contracted,
-                "speedup": seconds_kron / max(seconds_contracted, 1e-12),
-                "max_abs_error_vs_brute_force": error,
-            }
-        )
+        row: Dict[str, object] = {
+            "nnz": int(tensor.nnz),
+            "rank": int(rank),
+            "order": int(order),
+            "seconds_kron": seconds_kron,
+            "seconds_contracted": seconds_contracted,
+            "speedup": seconds_kron / max(seconds_contracted, 1e-12),
+            "backend_selected": selected,
+            "max_abs_error_vs_brute_force": error,
+        }
+        for name, seconds in backend_seconds.items():
+            if name == "numpy":
+                continue
+            row[f"seconds_{name}"] = seconds
+            row[f"speedup_{name}_vs_numpy"] = seconds_contracted / max(
+                seconds, 1e-12
+            )
+        rows.append(row)
     return {
         "benchmark": "kernel_microbench",
         "kernels": {"baseline": "kron", "candidate": "contracted"},
+        "backends": backend_names,
         "repeats": int(repeats),
         "rows": rows,
         "max_abs_error_vs_brute_force": max(
@@ -158,6 +232,9 @@ def run_microbench(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "blas_threads": blas_thread_count(),
+            "numba": HAVE_NUMBA,
         },
     }
 

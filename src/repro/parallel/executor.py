@@ -14,7 +14,11 @@ Worker inputs are presliced in the parent: the sorted
 into one contiguous segment, so a worker's entries are gathered with an
 O(assigned entries) segment lookup instead of an ``np.isin`` scan over all
 nnz entries per worker, and each worker receives only its own slice of the
-entry arrays.
+entry arrays.  Callers driving repeated sweeps pass a prebuilt ``context``
+(the sort is O(nnz log nnz), pointless to redo per iteration), and a
+``backend`` name selects the kernel execution strategy *inside* each worker
+(see :mod:`repro.kernels.backends`; names travel over pickle, backend
+objects need not).
 """
 
 from __future__ import annotations
@@ -26,13 +30,11 @@ import numpy as np
 
 from ..kernels import (
     concatenated_segment_starts,
-    contract_delta_block,
-    normal_equations_sorted,
+    resolve_backend,
     segment_positions,
-    solve_rows,
 )
 from ..tensor.coo import SparseTensor
-from ..core.row_update import build_mode_context
+from ..core.row_update import ModeContext, build_mode_context
 from .partition import partition_rows
 
 
@@ -45,6 +47,7 @@ def _update_row_subset(
     mode: int,
     rows: np.ndarray,
     regularization: float,
+    backend: str = "numpy",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Worker: solve the rows of one partition from its presliced entries.
 
@@ -53,11 +56,12 @@ def _update_row_subset(
     ``segment_starts``.  Returns ``(rows, new_row_values)``.  Module-level so
     it can be pickled by ``ProcessPoolExecutor``.
     """
-    deltas = contract_delta_block(local_indices, factors, core, mode)
-    b_matrices, c_vectors = normal_equations_sorted(
-        deltas, local_values, segment_starts
+    kernel_backend = resolve_backend(backend)
+    ne_kernel = kernel_backend.make_normal_equations_kernel(
+        factors, core, mode, local_indices.shape[0]
     )
-    return rows, solve_rows(b_matrices, c_vectors, regularization)
+    b_matrices, c_vectors = ne_kernel(local_indices, local_values, segment_starts)
+    return rows, kernel_backend.solve_rows(b_matrices, c_vectors, regularization)
 
 
 def parallel_update_factor_mode(
@@ -69,15 +73,20 @@ def parallel_update_factor_mode(
     n_workers: int = 2,
     scheduling: str = "dynamic",
     executor: Optional[ProcessPoolExecutor] = None,
+    context: Optional[ModeContext] = None,
+    backend: str = "numpy",
 ) -> np.ndarray:
     """Update ``A^(mode)`` using a pool of worker processes.
 
     Rows are partitioned by their |Ω_in| cost under the requested scheduling
     policy, each worker solves its rows independently from a presliced
     segment of the mode-sorted entries, and the updated rows are merged into
-    the factor matrix in place.
+    the factor matrix in place.  ``context`` reuses a prebuilt
+    :class:`~repro.core.row_update.ModeContext` across sweeps instead of
+    re-sorting the entries on every invocation.
     """
-    context = build_mode_context(tensor, mode)
+    if context is None:
+        context = build_mode_context(tensor, mode)
     if context.row_ids.shape[0] == 0:
         return factors[mode]
 
@@ -116,6 +125,7 @@ def parallel_update_factor_mode(
                 mode,
                 rows,
                 regularization,
+                backend,
             )
             for local_indices, local_values, starts, rows in jobs
         ]

@@ -1,0 +1,273 @@
+"""Kernel backend registry and cross-backend equivalence tests.
+
+Every backend must reproduce the reference NumPy results to ~1e-12 across
+the shapes that historically break segment logic: higher orders, ragged
+ranks, empty rows (mode slices with no observed entries), and
+single-entry segments.  The threaded backend is additionally exercised
+with a forced multi-worker configuration so the chunked code path runs
+even on single-CPU hosts (where it normally degrades to the serial path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.row_update import build_mode_context, update_factor_mode
+from repro.kernels import available_backends, get_backend, resolve_backend
+from repro.kernels.backends import (
+    HAVE_NUMBA,
+    AutoBackend,
+    KernelBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    backend_names_for_cli,
+    register_backend,
+)
+from repro.kernels.backends.threaded import chunk_boundaries
+from repro.tensor import SparseTensor
+
+#: Backends every equivalence test runs against the NumPy reference.
+CANDIDATES = [
+    ThreadedBackend(n_workers=3, min_chunk_entries=8),  # force chunking
+    "threaded",  # default construction (may degrade to serial on 1 CPU)
+]
+if HAVE_NUMBA:
+    CANDIDATES.append("numba")
+
+
+def _problem(order, seed, ragged=True, nnz=400, single_entry_rows=False):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(d) for d in rng.integers(6, 14, size=order))
+    if ragged:
+        ranks = tuple(int(r) for r in rng.integers(1, 5, size=order))
+    else:
+        ranks = (3,) * order
+    ranks = tuple(min(r, s) for r, s in zip(ranks, shape))
+    if single_entry_rows:
+        # Exactly one entry per mode-0 row: every segment has length 1.
+        indices = np.stack(
+            [np.arange(shape[0])]
+            + [rng.integers(0, d, shape[0]) for d in shape[1:]],
+            axis=1,
+        ).astype(np.int64)
+    else:
+        # Keep the last slice of every mode empty so empty rows are hit.
+        indices = np.stack(
+            [rng.integers(0, d - 1, nnz) for d in shape], axis=1
+        ).astype(np.int64)
+    tensor = SparseTensor(
+        indices, rng.uniform(0.1, 2.0, indices.shape[0]), shape
+    ).deduplicate()
+    factors = [rng.uniform(-1.0, 1.0, size=(d, r)) for d, r in zip(shape, ranks)]
+    core = rng.uniform(-1.0, 1.0, size=ranks)
+    return tensor, factors, core
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_registry_lists_numpy_first_and_threaded():
+    names = available_backends()
+    assert names[0] == "numpy"
+    assert "threaded" in names
+
+
+def test_get_unknown_backend_raises_with_choices():
+    with pytest.raises(KeyError, match="available"):
+        get_backend("gpu")
+
+
+def test_optional_numba_name_always_resolves():
+    """Requesting numba without the dependency falls back to numpy silently."""
+    backend = resolve_backend("numba")
+    if HAVE_NUMBA:
+        assert backend.name == "numba"
+    else:
+        assert backend.name == "numpy"
+
+
+def test_resolve_passthrough_and_specials():
+    instance = ThreadedBackend(n_workers=2)
+    assert resolve_backend(instance) is instance
+    assert resolve_backend(None).name == "numpy"
+    assert isinstance(resolve_backend("auto"), AutoBackend)
+
+
+def test_cli_names_include_optional_backends():
+    names = backend_names_for_cli()
+    assert names[0] == "auto"
+    assert {"numpy", "threaded", "numba"} <= set(names)
+
+
+def test_register_backend_last_wins():
+    class Custom(NumpyBackend):
+        name = "custom-test"
+
+    backend = Custom()
+    register_backend(backend)
+    try:
+        assert resolve_backend("custom-test") is backend
+    finally:
+        from repro.kernels.backends.base import _REGISTRY
+
+        _REGISTRY.pop("custom-test", None)
+
+
+# ----------------------------------------------------------------------
+# Chunk boundaries
+# ----------------------------------------------------------------------
+
+def test_chunk_boundaries_align_with_segments():
+    starts = np.asarray([0, 5, 6, 20, 21, 40], dtype=np.int64)
+    edges = chunk_boundaries(starts, 50, 3)
+    assert edges[0] == 0 and edges[-1] == starts.shape[0]
+    assert np.all(np.diff(edges) > 0)
+
+
+def test_chunk_boundaries_degenerate_cases():
+    assert chunk_boundaries(np.asarray([0]), 10, 4).tolist() == [0, 1]
+    assert chunk_boundaries(np.asarray([0, 3]), 6, 1).tolist() == [0, 2]
+
+
+# ----------------------------------------------------------------------
+# Equivalence
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("order", [3, 4, 5])
+@pytest.mark.parametrize("candidate", CANDIDATES, ids=lambda c: str(c))
+def test_backend_matches_numpy_ragged_ranks(order, candidate):
+    tensor, factors, core = _problem(order, seed=order * 11)
+    for mode in range(order):
+        reference = [f.copy() for f in factors]
+        update_factor_mode(tensor, reference, core, mode, 0.01, backend="numpy")
+        candidate_factors = [f.copy() for f in factors]
+        update_factor_mode(
+            tensor, candidate_factors, core, mode, 0.01, backend=candidate
+        )
+        np.testing.assert_allclose(
+            candidate_factors[mode], reference[mode], atol=1e-12, rtol=1e-12
+        )
+
+
+@pytest.mark.parametrize("candidate", CANDIDATES, ids=lambda c: str(c))
+def test_backend_matches_numpy_single_entry_segments(candidate):
+    tensor, factors, core = _problem(3, seed=5, single_entry_rows=True)
+    reference = [f.copy() for f in factors]
+    update_factor_mode(tensor, reference, core, 0, 0.01, backend="numpy")
+    candidate_factors = [f.copy() for f in factors]
+    update_factor_mode(tensor, candidate_factors, core, 0, 0.01, backend=candidate)
+    np.testing.assert_allclose(
+        candidate_factors[0], reference[0], atol=1e-12, rtol=1e-12
+    )
+
+
+@pytest.mark.parametrize("candidate", CANDIDATES, ids=lambda c: str(c))
+def test_backend_leaves_empty_rows_untouched(candidate):
+    tensor, factors, core = _problem(3, seed=9)
+    before = factors[0].copy()
+    update_factor_mode(tensor, factors, core, 0, 0.01, backend=candidate)
+    ctx = build_mode_context(tensor, 0)
+    empty_rows = np.setdiff1d(np.arange(tensor.shape[0]), ctx.row_ids)
+    assert empty_rows.size > 0
+    np.testing.assert_array_equal(factors[0][empty_rows], before[empty_rows])
+
+
+def test_threaded_chunked_is_bitwise_equal_to_numpy():
+    """Segment-aligned chunks reduce in the same order as the full pass."""
+    tensor, factors, core = _problem(3, seed=21, nnz=900)
+    ctx = build_mode_context(tensor, 0)
+    numpy_kernel = NumpyBackend().make_normal_equations_kernel(
+        factors, core, 0, tensor.nnz
+    )
+    threaded_kernel = ThreadedBackend(
+        n_workers=4, min_chunk_entries=4
+    ).make_normal_equations_kernel(factors, core, 0, tensor.nnz)
+    b_ref, c_ref = numpy_kernel(
+        ctx.sorted_indices, ctx.sorted_values, ctx.row_starts
+    )
+    b_thr, c_thr = threaded_kernel(
+        ctx.sorted_indices, ctx.sorted_values, ctx.row_starts
+    )
+    np.testing.assert_array_equal(b_thr, b_ref)
+    np.testing.assert_array_equal(c_thr, c_ref)
+
+
+def test_threaded_primitives_match_reference():
+    tensor, factors, core = _problem(4, seed=33, nnz=700)
+    backend = ThreadedBackend(n_workers=3, min_chunk_entries=16)
+    reference = NumpyBackend()
+    deltas_ref = reference.contract_delta_block(tensor.indices, factors, core, 1)
+    deltas_thr = backend.contract_delta_block(tensor.indices, factors, core, 1)
+    np.testing.assert_array_equal(deltas_thr, deltas_ref)
+
+    rng = np.random.default_rng(0)
+    gram = rng.uniform(0.5, 1.0, size=(64, 3, 3))
+    b_matrices = gram @ gram.transpose(0, 2, 1)
+    c_vectors = rng.uniform(-1.0, 1.0, size=(64, 3))
+    solved_thr = ThreadedBackend(n_workers=2, min_chunk_entries=8).solve_rows(
+        b_matrices, c_vectors, 0.01
+    )
+    solved_ref = reference.solve_rows(b_matrices, c_vectors, 0.01)
+    np.testing.assert_allclose(solved_thr, solved_ref, atol=1e-13)
+
+
+# ----------------------------------------------------------------------
+# Solver-level wiring
+# ----------------------------------------------------------------------
+
+def test_ptucker_config_backend_roundtrip(planted_small):
+    from repro.core import PTucker, PTuckerConfig
+
+    reference = PTucker(
+        PTuckerConfig(ranks=(3, 3, 3), max_iterations=2, seed=0)
+    ).fit(planted_small.tensor)
+    threaded = PTucker(
+        PTuckerConfig(
+            ranks=(3, 3, 3), max_iterations=2, seed=0, backend="threaded"
+        )
+    ).fit(planted_small.tensor)
+    np.testing.assert_allclose(
+        threaded.trace.errors, reference.trace.errors, rtol=1e-10
+    )
+
+
+def test_config_rejects_unknown_backend():
+    from repro.core import PTuckerConfig
+    from repro.exceptions import ShapeError
+
+    with pytest.raises(ShapeError, match="backend"):
+        PTuckerConfig(backend="cuda")
+
+
+def test_legacy_kron_kernel_respects_delta_provider():
+    """An explicit δ provider takes precedence over the seed kernel too."""
+    from repro.kernels.contraction import contract_delta_block
+
+    tensor, factors, core = _problem(3, seed=13)
+    calls = []
+
+    def provider(entry_positions, mode):
+        calls.append(entry_positions.shape[0])
+        return contract_delta_block(
+            tensor.indices[entry_positions], factors, core, mode
+        )
+
+    reference = [f.copy() for f in factors]
+    update_factor_mode(tensor, reference, core, 0, 0.01, kernel="kron")
+    provided = [f.copy() for f in factors]
+    update_factor_mode(
+        tensor, provided, core, 0, 0.01, kernel="kron", delta_provider=provider
+    )
+    assert sum(calls) == tensor.nnz  # the provider really fed the kron path
+    np.testing.assert_allclose(provided[0], reference[0], atol=1e-12)
+
+
+def test_legacy_kron_kernel_ignores_backend():
+    tensor, factors, core = _problem(3, seed=2)
+    reference = [f.copy() for f in factors]
+    update_factor_mode(tensor, reference, core, 0, 0.01, kernel="kron")
+    via_threaded = [f.copy() for f in factors]
+    update_factor_mode(
+        tensor, via_threaded, core, 0, 0.01, kernel="kron", backend="threaded"
+    )
+    np.testing.assert_allclose(via_threaded[0], reference[0], atol=1e-12)

@@ -36,3 +36,51 @@ def test_parallel_update_with_static_scheduling(planted_small):
         tensor, factors, core, 0, regularization=0.01, n_workers=3, scheduling="static"
     )
     np.testing.assert_allclose(factors[0], reference[0], atol=1e-8)
+
+
+def test_parallel_update_reuses_prebuilt_context(planted_small):
+    """A caller-owned ModeContext is used as-is, not rebuilt per invocation."""
+    from repro.core.row_update import build_mode_context
+
+    tensor = planted_small.tensor
+    generator = np.random.default_rng(0)
+    factors = initialize_factors(tensor.shape, (3, 3, 3), generator)
+    reference = [f.copy() for f in factors]
+    core = initialize_core((3, 3, 3), np.random.default_rng(1))
+    context = build_mode_context(tensor, 1)
+
+    update_factor_mode(tensor, reference, core, 1, regularization=0.01)
+    # Two sweeps through the same prebuilt context (as an iterating driver
+    # would issue) both produce the serial result.
+    for _ in range(2):
+        factors_sweep = [f.copy() for f in factors]
+        parallel_update_factor_mode(
+            tensor,
+            factors_sweep,
+            core,
+            1,
+            regularization=0.01,
+            n_workers=2,
+            context=context,
+        )
+        np.testing.assert_allclose(factors_sweep[1], reference[1], atol=1e-8)
+
+
+def test_parallel_update_with_threaded_backend_in_workers(planted_small):
+    """Backend names travel to the worker processes and change nothing numerically."""
+    tensor = planted_small.tensor
+    generator = np.random.default_rng(0)
+    factors = initialize_factors(tensor.shape, (3, 3, 3), generator)
+    reference = [f.copy() for f in factors]
+    core = initialize_core((3, 3, 3), np.random.default_rng(1))
+    update_factor_mode(tensor, reference, core, 0, regularization=0.01)
+    parallel_update_factor_mode(
+        tensor,
+        factors,
+        core,
+        0,
+        regularization=0.01,
+        n_workers=2,
+        backend="threaded",
+    )
+    np.testing.assert_allclose(factors[0], reference[0], atol=1e-8)

@@ -89,6 +89,27 @@ class TestFactorizeCommand:
         assert code == 0
         assert "S-HOT" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("backend", ["threaded", "auto", "numba"])
+    def test_factorize_with_backend(self, tensor_file, capsys, backend):
+        """Every backend name (incl. optional ones) runs end to end."""
+        path, _ = tensor_file
+        code = main(
+            [
+                "factorize",
+                path,
+                "--ranks",
+                "2",
+                "2",
+                "2",
+                "--max-iterations",
+                "2",
+                "--backend",
+                backend,
+            ]
+        )
+        assert code == 0
+        assert "error=" in capsys.readouterr().out
+
     def test_all_registered_algorithms_are_constructible(self):
         config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=1)
         for name, cls in ALGORITHMS.items():
