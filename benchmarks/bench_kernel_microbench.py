@@ -47,6 +47,9 @@ def test_kernel_microbench_small_grid(benchmark):
     print(render_table(payload["rows"], title="Kernel microbench - kron vs contracted"))
     assert payload["max_abs_error_vs_brute_force"] <= 1e-8
     for row in payload["rows"]:
+        # The out-of-core contract: streamed shards reproduce the in-core
+        # sweep bit for bit at matched block boundaries.
+        assert row["sharded_equals_incore"] is True
         # Slack below 1.0 keeps the regression signal without making the
         # assertion flaky when a tiny cell hits scheduler noise on a loaded
         # machine; real regressions show up as order-of-magnitude drops.

@@ -11,6 +11,8 @@ The package provides:
   S-HOT and CP-ALS.
 * :mod:`repro.metrics` — reconstruction error, test RMSE, memory accounting.
 * :mod:`repro.parallel` — scheduling policies and the parallel cost simulator.
+* :mod:`repro.shards` — out-of-core sharded sweeps: the mmap COO shard
+  store and the streaming executor (bitwise-equal to in-core).
 * :mod:`repro.discovery` — K-means, concept and relation discovery.
 * :mod:`repro.data` — synthetic and MovieLens-style dataset generators.
 * :mod:`repro.experiments` — the harness that regenerates every figure and
@@ -32,12 +34,15 @@ from .exceptions import (
     ReproError,
     ShapeError,
 )
+from .shards import ShardedSweepExecutor, ShardStore
 from .tensor import SparseTensor
 
 __version__ = "1.0.0"
 
 __all__ = [
     "SparseTensor",
+    "ShardStore",
+    "ShardedSweepExecutor",
     "PTucker",
     "PTuckerCache",
     "PTuckerApprox",

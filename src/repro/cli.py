@@ -3,8 +3,12 @@
 Usage::
 
     python -m repro factorize ratings.tns --ranks 10 10 5 5 --output model
+    python -m repro fit ratings.tns --ranks 10 --shards /data/shards
     python -m repro predict model.npz --index 3 17 2 14
     python -m repro info ratings.tns
+
+(``fit`` is an alias of ``factorize``; ``--shards DIR`` streams the sweeps
+from an on-disk shard store instead of RAM — see :mod:`repro.shards`.)
 
 ``factorize`` reads a whitespace-separated ``i_1 ... i_N value`` file (the
 format of the paper's released datasets), runs the chosen algorithm, reports
@@ -70,7 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    factorize = subparsers.add_parser("factorize", help="factorize a tensor file")
+    factorize = subparsers.add_parser(
+        "factorize", aliases=["fit"], help="factorize a tensor file"
+    )
     factorize.add_argument("tensor", help="path to a 'i_1 ... i_N value' text file")
     factorize.add_argument(
         "--algorithm",
@@ -88,6 +94,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="kernel execution strategy ('auto' picks the measured-fastest "
         "per block; 'numba' needs the optional JIT extra and otherwise "
         "falls back to numpy)",
+    )
+    factorize.add_argument(
+        "--shards",
+        metavar="DIR",
+        default="",
+        help="run the sweeps out of core: shard the tensor into mode-sorted "
+        "memory-mapped COO blocks at DIR (reused when DIR already shards "
+        "this tensor) and stream them instead of holding sorted copies in "
+        "RAM; P-Tucker only, every mode update bitwise-equal to the "
+        "in-core sweep (see repro.shards for the convergence-metric "
+        "caveat at nonzero --tolerance)",
+    )
+    factorize.add_argument(
+        "--shard-nnz",
+        type=int,
+        default=1_000_000,
+        help="entries per shard when --shards builds a store (default: 1e6)",
     )
     factorize.add_argument("--regularization", type=float, default=0.01)
     factorize.add_argument("--max-iterations", type=int, default=20)
@@ -122,6 +145,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_factorize(args: argparse.Namespace) -> int:
+    if args.shards and args.algorithm != "ptucker":
+        print(
+            "error: --shards supports the base 'ptucker' algorithm only "
+            f"(got --algorithm {args.algorithm})",
+            file=sys.stderr,
+        )
+        return 2
     tensor = load_text(args.tensor, one_based=not args.zero_based)
     print(f"loaded {tensor}")
     test: Optional[SparseTensor] = None
@@ -137,8 +167,12 @@ def _command_factorize(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         seed=args.seed,
         backend=args.backend,
+        shard_dir=args.shards or None,
+        shard_nnz=args.shard_nnz,
     )
     solver = ALGORITHMS[args.algorithm](config)
+    if args.shards:
+        print(f"streaming sweeps from shard store at {args.shards}")
     result = solver.fit(train)
 
     print(result.summary())
@@ -191,7 +225,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "factorize":
+    if args.command in ("factorize", "fit"):
         return _command_factorize(args)
     if args.command == "predict":
         return _command_predict(args)

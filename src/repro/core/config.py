@@ -51,6 +51,21 @@ class PTuckerConfig:
         ``"threaded"``, ``"numba"`` (falls back to numpy where the JIT stack
         is absent) or ``"auto"`` for per-block autotuned dispatch.  See
         :mod:`repro.kernels.backends`.
+    shard_dir:
+        When set, :meth:`~repro.core.ptucker.PTucker.fit` runs its sweeps
+        out of core: the tensor is converted into (or reused from) a
+        mode-sorted shard store at this directory and every entry access
+        streams from memory-mapped shards (see :mod:`repro.shards`).
+        Every mode update is bitwise-equal to the in-core one; the
+        convergence metric is accumulated over the store's canonical
+        (mode-0 sorted) entry order, so with a differently-ordered tensor
+        and a nonzero ``tolerance`` the stopping decision can in
+        principle flip on a last-ulp tie (with ``tolerance=0`` the whole
+        fit is bitwise-equal).  Only the base P-Tucker variant supports
+        it.
+    shard_nnz:
+        Shard capacity in entries used when ``shard_dir`` triggers a store
+        build (default 1,000,000 — about 32 MB per order-3 shard).
     """
 
     ranks: Tuple[int, ...] = (10,)
@@ -67,6 +82,8 @@ class PTuckerConfig:
     memory_budget_bytes: Optional[int] = None
     block_size: int = 200_000
     backend: str = "numpy"
+    shard_dir: Optional[str] = None
+    shard_nnz: int = 1_000_000
 
     def __post_init__(self) -> None:
         if self.regularization < 0:
@@ -85,6 +102,8 @@ class PTuckerConfig:
             raise ShapeError("truncation_rate must be in (0, 1)")
         if self.block_size < 1:
             raise ShapeError("block_size must be positive")
+        if self.shard_nnz < 1:
+            raise ShapeError("shard_nnz must be positive")
         from ..kernels.backends import backend_names_for_cli
 
         if self.backend not in backend_names_for_cli():

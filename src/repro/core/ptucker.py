@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..exceptions import ShapeError
 from ..metrics.errors import error_and_loss
 from ..metrics.memory import MemoryTracker
 from ..metrics.timing import IterationTimer
@@ -95,8 +96,30 @@ class PTucker:
 
     # ------------------------------------------------------------------
     def fit(self, tensor: SparseTensor) -> TuckerResult:
-        """Factorize ``tensor`` and return the fitted model."""
+        """Factorize ``tensor`` and return the fitted model.
+
+        With ``config.shard_dir`` set, the sweeps run out of core: the
+        tensor is sharded to (or reused from) that directory and the fit is
+        delegated to :class:`~repro.shards.executor.ShardedSweepExecutor`,
+        whose streamed updates are bitwise-equal to the in-core ones.
+        """
         config = self.config
+        if config.shard_dir:
+            if type(self) is not PTucker:
+                raise ShapeError(
+                    "shard_dir streaming supports the base P-Tucker solver "
+                    f"only, not {type(self).__name__} (its per-entry state "
+                    "indexes the in-RAM entry order)"
+                )
+            from ..shards import ShardedSweepExecutor, ShardStore
+
+            store = ShardStore.for_tensor(
+                tensor, config.shard_dir, shard_nnz=config.shard_nnz
+            )
+            executor = ShardedSweepExecutor(
+                store, backend=config.backend, block_size=config.block_size
+            )
+            return executor.fit(config)
         ranks = config.resolve_ranks(tensor.order)
         rng = np.random.default_rng(config.seed)
 

@@ -16,11 +16,23 @@ The paper's C implementation walks the entries of Ω row by row inside an
 OpenMP loop; here the same computation is expressed with NumPy batch
 operations routed through :mod:`repro.kernels`: δ for all entries of a mode
 comes from the progressive core contraction of
-:func:`~repro.kernels.contraction.contract_delta_block`, the per-row
-reductions are ``np.add.reduceat`` segment sums over the mode-sorted entry
-order, and the per-row solves are one batched ``numpy.linalg.solve``.  The
-result is numerically identical to the paper's update (tests compare it
+:func:`~repro.kernels.contraction.make_delta_contractor`, the per-row
+reductions are the segment-sorted bucketed-GEMM normal equations of
+:func:`~repro.kernels.segments.normal_equations_sorted` (equal-length row
+segments reduced as one batched ``matmul`` each, never an ``(m, J, J)``
+outer-product temporary), and the per-row solves are one batched
+``numpy.linalg.solve``.  The execution strategy of those primitives is
+pluggable through the ``backend=`` knob (:mod:`repro.kernels.backends`).
+The result is numerically identical to the paper's update (tests compare it
 against a brute-force per-row least-squares).
+
+Entries can also be streamed from disk instead of sliced from RAM: the
+``source=`` knob accepts any *entry source* — an object exposing ``nnz``,
+``mode_segmentation(mode)`` and ``read_mode_block(mode, start, stop)``,
+such as :class:`~repro.shards.store.ShardStore` — and the block loop then
+reads each mode-sorted chunk through it.  Because the blocks carry the same
+data at the same boundaries, the streamed update is bitwise-equal to the
+in-core one.
 
 The seed kernel — a running Kronecker product against the unfolded core plus
 ``np.add.at`` scatter accumulation — is kept available as
@@ -174,7 +186,7 @@ def accumulate_normal_equations(
 
 
 def update_factor_mode(
-    tensor: SparseTensor,
+    tensor: Optional[SparseTensor],
     factors: List[np.ndarray],
     core: np.ndarray,
     mode: int,
@@ -185,6 +197,7 @@ def update_factor_mode(
     delta_provider=None,
     kernel: str = "contracted",
     backend: BackendSpec = "numpy",
+    source=None,
 ) -> np.ndarray:
     """Update every row of factor matrix ``A^(mode)`` in place and return it.
 
@@ -208,24 +221,49 @@ def update_factor_mode(
     ``kernel="kron"`` path ignores the knob.  With a ``delta_provider`` the
     backend still runs the reduction and solve, but δ comes from the
     provider.
+
+    ``source`` streams the mode-sorted entries from disk instead of slicing
+    them from RAM: any object with ``nnz``, ``mode_segmentation(mode)`` and
+    ``read_mode_block(mode, start, stop)`` (a
+    :class:`~repro.shards.store.ShardStore`) works, and ``tensor`` /
+    ``context`` may then be ``None``.  The block boundaries and the data in
+    each block are identical to the in-core path, so the streamed update is
+    bitwise-equal to it.  A ``source`` cannot be combined with
+    ``delta_provider`` or ``kernel="kron"`` (both index into the tensor's
+    in-RAM entry ordering).
     """
     if kernel not in ("contracted", "kron"):
         raise ValueError(f"unknown kernel {kernel!r}; use 'contracted' or 'kron'")
-    ctx = context if context is not None else build_mode_context(tensor, mode)
+    if source is not None and (delta_provider is not None or kernel == "kron"):
+        raise ValueError(
+            "a streamed entry source cannot be combined with delta_provider "
+            "or the legacy kernel='kron' path"
+        )
+    if source is None and tensor is None and context is None:
+        raise ValueError("provide a tensor, a prebuilt context, or a source")
+    if source is not None:
+        row_ids, row_starts, row_counts = source.mode_segmentation(mode)
+        n_entries = int(source.nnz)
+        ctx = None
+    else:
+        ctx = context if context is not None else build_mode_context(tensor, mode)
+        row_ids, row_starts = ctx.row_ids, ctx.row_starts
+        row_counts = ctx.row_counts
+        n_entries = ctx.sorted_indices.shape[0]
     kernel_backend = resolve_backend(backend)
     factor = factors[mode]
     rank = factor.shape[1]
     use_legacy = kernel == "kron"
     core_unfolded = core_unfolding(core, mode) if use_legacy else None
 
-    n_listed_rows = ctx.row_ids.shape[0]
+    n_listed_rows = row_ids.shape[0]
     if n_listed_rows == 0:
         return factor
 
     if use_legacy:
         # Map every sorted entry to the position of its row in ctx.row_ids
         # (only the scatter-add kernel consumes this nnz-sized array).
-        segment_of_entry = np.repeat(np.arange(n_listed_rows), ctx.row_counts)
+        segment_of_entry = np.repeat(np.arange(n_listed_rows), row_counts)
 
     b_matrices = np.zeros((n_listed_rows, rank, rank), dtype=np.float64)
     c_vectors = np.zeros((n_listed_rows, rank), dtype=np.float64)
@@ -234,7 +272,6 @@ def update_factor_mode(
         # Per-thread workspace of the paper: B, its inverse, c and δ (Theorem 4).
         memory.allocate((2 * rank * rank + 2 * rank) * BYTES_PER_FLOAT, "row-update")
 
-    n_entries = ctx.sorted_indices.shape[0]
     ne_kernel = None
     if delta_provider is None and not use_legacy:
         # Entry-independent kernel state (precontraction tables, thread
@@ -268,27 +305,32 @@ def update_factor_mode(
             # the block; a run can only split across blocks, in which case its
             # partial sums land on the same destination row twice.  The rows
             # overlapping this block and their local run boundaries come
-            # straight from the context's row segmentation.
-            first = np.searchsorted(ctx.row_starts, start, side="right") - 1
-            last = np.searchsorted(ctx.row_starts, stop, side="left")
+            # straight from the mode's row segmentation.
+            first = np.searchsorted(row_starts, start, side="right") - 1
+            last = np.searchsorted(row_starts, stop, side="left")
             local_rows = np.arange(first, last)
-            local_starts = np.maximum(ctx.row_starts[first:last] - start, 0)
+            local_starts = np.maximum(row_starts[first:last] - start, 0)
             if delta_provider is not None:
                 deltas = delta_provider(ctx.perm[block_slice], mode)
                 partial_b, partial_c = kernel_backend.normal_equations_sorted(
                     deltas, ctx.sorted_values[block_slice], local_starts
                 )
             else:
+                if source is not None:
+                    indices_block, values_block = source.read_mode_block(
+                        mode, start, stop
+                    )
+                else:
+                    indices_block = ctx.sorted_indices[block_slice]
+                    values_block = ctx.sorted_values[block_slice]
                 partial_b, partial_c = ne_kernel(
-                    ctx.sorted_indices[block_slice],
-                    ctx.sorted_values[block_slice],
-                    local_starts,
+                    indices_block, values_block, local_starts
                 )
             b_matrices[local_rows] += partial_b
             c_vectors[local_rows] += partial_c
 
     new_rows = kernel_backend.solve_rows(b_matrices, c_vectors, regularization)
-    factor[ctx.row_ids] = new_rows
+    factor[row_ids] = new_rows
 
     if memory is not None:
         memory.release((2 * rank * rank + 2 * rank) * BYTES_PER_FLOAT, "row-update")

@@ -51,6 +51,12 @@ def run(
         "max |error| vs brute force: "
         f"{payload['max_abs_error_vs_brute_force']:.3e}"
     )
+    result.add_note(
+        "peak_rss_mb_* / peak_traced_mb_* = peak memory one mode-0 sweep "
+        "adds (cold-subprocess RSS growth / tracemalloc): incore includes "
+        "the ModeContext's nnz-sized sorted copies, sharded streams "
+        "mmap'd shards at the same block size (see docs/BENCHMARKS.md)"
+    )
     if output:
         path = write_payload(payload, os.path.abspath(output))
         result.add_note(f"wrote {path}")

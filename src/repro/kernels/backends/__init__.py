@@ -15,6 +15,12 @@ this package registers the built-in backends:
 :mod:`~repro.kernels.backends.autotune`, which measures the candidates per
 (order, rank profile, block size) shape class and always executes the
 measured-fastest one.
+
+Consumers map the user-facing ``backend=`` knob (a registered name, a
+:class:`~repro.kernels.backends.base.KernelBackend` instance, ``"auto"``
+or ``None``) to a concrete backend with :func:`resolve_backend`; new
+strategies subclass :class:`KernelBackend` and call
+:func:`register_backend` once at import time.
 """
 
 from .base import (

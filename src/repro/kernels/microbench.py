@@ -12,6 +12,22 @@ measured-fastest backend (``backend_selected`` — by construction never a
 backend that measured slower), and the machine facts that make timings
 comparable across refreshes: CPU count and the BLAS thread count.
 
+Each cell also compares the **out-of-core sharded sweep**
+(:mod:`repro.shards`) against the in-core path at a matched block size:
+``seconds_sharded`` is the streamed wall time, ``sharded_equals_incore``
+asserts the bitwise contract, and the ``peak_*`` columns record the peak
+memory the sweep adds on top of what is already resident — once as the
+RSS growth over the sweep of a *cold* subprocess, polled from its
+``/proc/self/statm`` (``peak_rss_mb_*``; a warm process would mask the
+difference behind allocator arena reuse, and ``ru_maxrss`` cannot be
+used because numpy's import transient sets that watermark), and once as
+the deterministic Python-side allocation peak from ``tracemalloc``
+(``peak_traced_mb_*``, which numpy reports its buffers to).  The in-core number includes the nnz-sized
+sorted index/value copies
+a :class:`~repro.core.row_update.ModeContext` keeps; the sharded number
+only ever holds one streamed block, which is the memory win the shard
+store exists for (see ``docs/BENCHMARKS.md``).
+
 The resulting rows are what ``benchmarks/run_benchmarks.py`` and
 ``python -m repro.experiments bench-kernels`` serialise into
 ``BENCH_kernels.json`` — the repository's recorded perf trajectory.
@@ -23,11 +39,14 @@ the kernel functions.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
+import tempfile
+import tracemalloc
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -138,6 +157,212 @@ def _time_update(
     return best
 
 
+#: Source of the child process that measures one sweep's peak-RSS growth.
+#: A *cold* process is essential: inside a warm benchmark process the
+#: allocator satisfies the sweep's arrays from previously freed arenas, so
+#: resident memory never moves and every path measures as "free".  The
+#: child reads the already-built shard store, prepares its inputs (the
+#: in-core variant materialises the tensor — that is its resident state by
+#: definition), snapshots its resident set, runs exactly one mode-0 sweep
+#: while a thread polls ``/proc/self/statm``, and reports the peak growth.
+#: (``ru_maxrss`` cannot be used: numpy's import transient sets the
+#: watermark above anything these sweeps allocate.)
+_PEAK_RSS_CHILD = """
+import json, os, sys, threading
+
+import numpy as np
+
+from repro.core.row_update import build_mode_context, update_factor_mode
+from repro.shards import ShardStore, ShardedSweepExecutor
+
+PAGE = os.sysconf("SC_PAGE_SIZE")
+
+
+def rss_bytes():
+    with open("/proc/self/statm", "rb") as handle:
+        return int(handle.read().split()[1]) * PAGE
+
+
+kind, shard_dir, block_size, rank = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+)
+store = ShardStore.open(shard_dir)
+rng = np.random.default_rng(0)
+factors = [rng.uniform(-0.5, 0.5, size=(dim, rank)) for dim in store.shape]
+core = rng.uniform(-0.5, 0.5, size=(rank,) * store.order)
+tensor = store.to_tensor() if kind == "incore" else None
+
+baseline = rss_bytes()
+peak = baseline
+stop = threading.Event()
+
+
+def sample():
+    global peak
+    while not stop.is_set():
+        peak = max(peak, rss_bytes())
+        stop.wait(0.0005)
+
+
+sampler = threading.Thread(target=sample, daemon=True)
+sampler.start()
+if kind == "incore":
+    context = build_mode_context(tensor, 0)
+    update_factor_mode(
+        tensor, factors, core, 0, 0.01, context=context, block_size=block_size
+    )
+else:
+    ShardedSweepExecutor(store, block_size=block_size).update_factor_mode(
+        factors, core, 0, 0.01
+    )
+peak = max(peak, rss_bytes())
+stop.set()
+sampler.join()
+print(json.dumps({"delta_kb": max(0, peak - baseline) / 1024.0}))
+"""
+
+
+def _child_peak_rss_mb(
+    kind: str, shard_dir: str, block_size: int, rank: int
+) -> Optional[float]:
+    """Peak-RSS growth of one sweep, measured in a cold subprocess (MiB).
+
+    Returns ``None`` when the child cannot run (no interpreter, import
+    failure) so the benchmark degrades to the tracemalloc columns instead
+    of failing.
+    """
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    try:
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _PEAK_RSS_CHILD,
+                kind,
+                shard_dir,
+                str(block_size),
+                str(rank),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        if completed.returncode != 0:
+            return None
+        delta_kb = json.loads(completed.stdout.strip())["delta_kb"]
+    except (OSError, ValueError, KeyError, subprocess.TimeoutExpired):
+        return None
+    return float(delta_kb) / 1024.0
+
+
+def _run_with_traced_peak(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` under ``tracemalloc`` and return its allocation peak.
+
+    Deterministic counterpart of the subprocess RSS measurement
+    (:func:`_child_peak_rss_mb`): numpy reports its buffer allocations to
+    tracemalloc, so the peak covers every array the call materialises
+    (but not memory-mapped file pages — those are page cache, not
+    intermediate data).  Do not time inside ``fn``; tracing slows
+    allocation.
+    """
+    gc.collect()
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    before = tracemalloc.get_traced_memory()[0]
+    try:
+        result = fn()
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, float(max(0, peak - before))
+
+
+def _bench_sharded_vs_incore(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    repeats: int,
+    regularization: float = 0.01,
+) -> Dict[str, object]:
+    """Out-of-core vs. in-core mode-0 sweep: wall time and peak memory.
+
+    Builds a shard store for the cell in a temporary directory (the build
+    is outside every measurement), then runs both paths at the *same*
+    block size (an eighth of nnz, so the streaming structure is exercised)
+    and measures each with the RSS sampler and tracemalloc.  The in-core
+    measurement includes its ``build_mode_context`` — the nnz-sized sorted
+    copies are precisely the resident state the shard store replaces.
+    """
+    from ..shards import ShardStore, ShardedSweepExecutor
+
+    block_size = max(2_048, tensor.nnz // 8)
+    row: Dict[str, object] = {"shard_nnz": int(block_size)}
+    with tempfile.TemporaryDirectory(prefix="repro-shards-") as shard_dir:
+        ShardStore.build(tensor, shard_dir, shard_nnz=block_size)
+
+        def incore_run() -> Tuple[float, np.ndarray]:
+            # Drop the cached sort permutation so every in-core run pays
+            # (and its memory delta includes) the same context build a
+            # fresh fit would.
+            tensor._mode_sorted_cache.clear()
+            fresh = [np.array(f, copy=True) for f in factors]
+            start = perf_counter()
+            context = build_mode_context(tensor, 0)
+            update_factor_mode(
+                tensor,
+                fresh,
+                core,
+                0,
+                regularization,
+                context=context,
+                block_size=block_size,
+            )
+            return perf_counter() - start, fresh[0]
+
+        def sharded_run() -> Tuple[float, np.ndarray]:
+            store = ShardStore.open(shard_dir)
+            executor = ShardedSweepExecutor(store, block_size=block_size)
+            fresh = [np.array(f, copy=True) for f in factors]
+            start = perf_counter()
+            executor.update_factor_mode(fresh, core, 0, regularization)
+            return perf_counter() - start, fresh[0]
+
+        best_incore = best_sharded = float("inf")
+        incore_factor = sharded_factor = None
+        for _ in range(max(1, repeats)):
+            seconds, incore_factor = incore_run()
+            best_incore = min(best_incore, seconds)
+            seconds, sharded_factor = sharded_run()
+            best_sharded = min(best_sharded, seconds)
+        (_, _), traced_incore = _run_with_traced_peak(incore_run)
+        (_, _), traced_sharded = _run_with_traced_peak(sharded_run)
+        rank = int(np.asarray(core).shape[0])
+        rss_incore = _child_peak_rss_mb("incore", shard_dir, block_size, rank)
+        rss_sharded = _child_peak_rss_mb("sharded", shard_dir, block_size, rank)
+
+    mib = 1024.0 * 1024.0
+    row["seconds_incore_blocked"] = best_incore
+    row["seconds_sharded"] = best_sharded
+    row["sharded_equals_incore"] = bool(
+        np.array_equal(incore_factor, sharded_factor)
+    )
+    row["peak_traced_mb_incore"] = traced_incore / mib
+    row["peak_traced_mb_sharded"] = traced_sharded / mib
+    if rss_incore is not None:
+        row["peak_rss_mb_incore"] = rss_incore
+    if rss_sharded is not None:
+        row["peak_rss_mb_sharded"] = rss_sharded
+    return row
+
+
 def _brute_force_error(
     tensor: SparseTensor,
     factors: Sequence[np.ndarray],
@@ -218,6 +443,9 @@ def run_microbench(
             row[f"speedup_{name}_vs_numpy"] = seconds_contracted / max(
                 seconds, 1e-12
             )
+        row.update(
+            _bench_sharded_vs_incore(tensor, factors, core, repeats)
+        )
         rows.append(row)
     return {
         "benchmark": "kernel_microbench",

@@ -9,17 +9,26 @@
   convergence tests (Theorem 2 asserts it is monotonically non-increasing).
 * :func:`error_and_loss` — Eqs. (5) and (6) from a single residual pass, so
   a solver iteration reconstructs the observed entries exactly once.
+* :func:`error_and_loss_stream` — the same metrics over a *stream* of
+  entry blocks, so an out-of-core fit never materialises the residual
+  vector (the sharded executor feeds it shard-store blocks).
 * :func:`fit` — the conventional "fit" score ``1 - ||residual|| / ||X||``.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import make_value_contractor
 from ..tensor.coo import SparseTensor
 from ..tensor.operations import sparse_reconstruct
+
+#: Entries reconstructed per residual block — matches
+#: :func:`repro.tensor.operations.sparse_reconstruct`'s chunking, so the
+#: in-core and streamed metrics accumulate over identical block boundaries.
+RECONSTRUCT_BLOCK_SIZE = 262_144
 
 
 def residuals(
@@ -67,12 +76,47 @@ def error_and_loss(
 
     Both metrics are derived from one residual evaluation, halving the
     per-iteration reconstruction cost compared to evaluating them
-    separately.  This is the single implementation of the objective;
-    :func:`reconstruction_error` and :func:`regularized_loss` are thin
-    wrappers over it.
+    separately.  This is the single implementation of the objective
+    (:func:`reconstruction_error` and :func:`regularized_loss` are thin
+    wrappers, and the streamed variant below shares the accumulation), so
+    the in-core and out-of-core fits report bitwise-identical metrics for
+    the same entry order.
     """
-    res = residuals(tensor, core, factors)
-    squared = float(np.sum(res * res))
+
+    def blocks() -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        for start in range(0, tensor.nnz, RECONSTRUCT_BLOCK_SIZE):
+            stop = min(start + RECONSTRUCT_BLOCK_SIZE, tensor.nnz)
+            yield tensor.indices[start:stop], tensor.values[start:stop]
+
+    return error_and_loss_stream(
+        blocks(), core, factors, regularization, expected_entries=tensor.nnz
+    )
+
+
+def error_and_loss_stream(
+    blocks: Iterable[Tuple[np.ndarray, np.ndarray]],
+    core: np.ndarray,
+    factors: Sequence[np.ndarray],
+    regularization: float,
+    expected_entries: int,
+) -> Tuple[float, float]:
+    """Eqs. (5) and (6) over a stream of ``(indices, values)`` entry blocks.
+
+    ``blocks`` yields chunks of observed entries (any partition into
+    consecutive blocks works; :data:`RECONSTRUCT_BLOCK_SIZE` chunks match
+    the in-core metric bit for bit).  Squared residuals are accumulated
+    per block, so only one block is ever resident — this is the metric the
+    sharded executor evaluates from memory-mapped shards.
+    ``expected_entries`` sizes the contraction plan exactly as the in-core
+    path does (it must be the total entry count of the stream).
+    """
+    contractor = make_value_contractor(factors, core, expected_entries)
+    squared = 0.0
+    for indices_block, values_block in blocks:
+        res = np.asarray(values_block, dtype=np.float64) - contractor(
+            np.asarray(indices_block)
+        )
+        squared += float(np.sum(res * res))
     penalty = (
         sum(float(np.sum(np.square(f))) for f in factors) if regularization else 0.0
     )

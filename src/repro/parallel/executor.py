@@ -18,7 +18,9 @@ entry arrays.  Callers driving repeated sweeps pass a prebuilt ``context``
 (the sort is O(nnz log nnz), pointless to redo per iteration), and a
 ``backend`` name selects the kernel execution strategy *inside* each worker
 (see :mod:`repro.kernels.backends`; names travel over pickle, backend
-objects need not).
+objects need not).  A ``source=`` shard store
+(:class:`~repro.shards.store.ShardStore`) replaces the in-RAM sorted arrays
+entirely: worker slices are gathered straight from the memory-mapped shards.
 """
 
 from __future__ import annotations
@@ -64,8 +66,39 @@ def _update_row_subset(
     return rows, kernel_backend.solve_rows(b_matrices, c_vectors, regularization)
 
 
+def _update_row_subset_from_source(
+    source,
+    entry_positions: np.ndarray,
+    segment_starts: np.ndarray,
+    factors: List[np.ndarray],
+    core: np.ndarray,
+    mode: int,
+    rows: np.ndarray,
+    regularization: float,
+    backend: str = "numpy",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Worker: gather this partition's entries from the shard store itself.
+
+    The parent ships only the (rows-sized) entry positions; the worker maps
+    the store's shards and gathers its own slice, so the parent never holds
+    any partition's index/value copies — that is the out-of-core point.
+    """
+    local_indices, local_values = source.gather_mode_entries(mode, entry_positions)
+    return _update_row_subset(
+        local_indices,
+        local_values,
+        segment_starts,
+        factors,
+        core,
+        mode,
+        rows,
+        regularization,
+        backend,
+    )
+
+
 def parallel_update_factor_mode(
-    tensor: SparseTensor,
+    tensor: Optional[SparseTensor],
     factors: List[np.ndarray],
     core: np.ndarray,
     mode: int,
@@ -75,6 +108,7 @@ def parallel_update_factor_mode(
     executor: Optional[ProcessPoolExecutor] = None,
     context: Optional[ModeContext] = None,
     backend: str = "numpy",
+    source=None,
 ) -> np.ndarray:
     """Update ``A^(mode)`` using a pool of worker processes.
 
@@ -84,51 +118,75 @@ def parallel_update_factor_mode(
     the factor matrix in place.  ``context`` reuses a prebuilt
     :class:`~repro.core.row_update.ModeContext` across sweeps instead of
     re-sorting the entries on every invocation.
+
+    ``source`` slices each worker's entries out of an on-disk shard store
+    (:class:`~repro.shards.store.ShardStore`) instead of in-RAM sorted
+    arrays: the parent ships only row partitions and entry positions, and
+    each *worker* gathers its own slice from the memory-mapped shards, so
+    no process ever materialises more than one partition's entries.
+    ``tensor`` / ``context`` may then be ``None``.
     """
-    if context is None:
-        context = build_mode_context(tensor, mode)
-    if context.row_ids.shape[0] == 0:
+    if source is not None:
+        row_ids, row_starts, row_counts = source.mode_segmentation(mode)
+    else:
+        if context is None:
+            if tensor is None:
+                raise ValueError(
+                    "provide a tensor, a prebuilt context, or a source"
+                )
+            context = build_mode_context(tensor, mode)
+        row_ids, row_starts = context.row_ids, context.row_starts
+        row_counts = context.row_counts
+    if row_ids.shape[0] == 0:
         return factors[mode]
 
-    partition = partition_rows(
-        context.row_counts.astype(np.float64), n_workers, scheduling
-    )
+    partition = partition_rows(row_counts.astype(np.float64), n_workers, scheduling)
 
-    jobs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    jobs: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     for worker in range(partition.n_threads):
         positions = partition.thread_items(worker)
         if not positions.size:
             continue
-        counts = context.row_counts[positions]
-        entry_positions = segment_positions(context.row_starts[positions], counts)
+        counts = row_counts[positions]
+        entry_positions = segment_positions(row_starts[positions], counts)
         starts = concatenated_segment_starts(counts)
-        jobs.append(
-            (
-                context.sorted_indices[entry_positions],
-                context.sorted_values[entry_positions],
-                starts,
-                context.row_ids[positions],
-            )
-        )
+        jobs.append((entry_positions, starts, row_ids[positions]))
 
     own_executor = executor is None
     pool = executor or ProcessPoolExecutor(max_workers=n_workers)
     try:
-        futures = [
-            pool.submit(
-                _update_row_subset,
-                local_indices,
-                local_values,
-                starts,
-                [np.asarray(f) for f in factors],
-                np.asarray(core),
-                mode,
-                rows,
-                regularization,
-                backend,
-            )
-            for local_indices, local_values, starts, rows in jobs
-        ]
+        futures = []
+        for entry_positions, starts, rows in jobs:
+            if source is not None:
+                futures.append(
+                    pool.submit(
+                        _update_row_subset_from_source,
+                        source,
+                        entry_positions,
+                        starts,
+                        [np.asarray(f) for f in factors],
+                        np.asarray(core),
+                        mode,
+                        rows,
+                        regularization,
+                        backend,
+                    )
+                )
+            else:
+                futures.append(
+                    pool.submit(
+                        _update_row_subset,
+                        context.sorted_indices[entry_positions],
+                        context.sorted_values[entry_positions],
+                        starts,
+                        [np.asarray(f) for f in factors],
+                        np.asarray(core),
+                        mode,
+                        rows,
+                        regularization,
+                        backend,
+                    )
+                )
         for future in futures:
             rows, new_values = future.result()
             factors[mode][rows] = new_values

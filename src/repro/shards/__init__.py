@@ -1,0 +1,49 @@
+"""Out-of-core sharded sweeps: mmap COO shard store + streaming executor.
+
+P-Tucker's row-wise update only ever reads a row's own entry slice
+Omega_in (Section III-B of the paper), so a sweep does not need the tensor
+in RAM: mode-sorted entries can stream from disk while updates land on
+disjoint row ranges.  This package provides the two pieces:
+
+* :class:`~repro.shards.store.ShardStore` — converts a
+  :class:`~repro.tensor.coo.SparseTensor` into per-mode, mode-sorted,
+  memory-mapped COO shards on disk (``.npy`` index/value blocks plus a
+  JSON manifest recording per-shard entry ranges, row ranges and segment
+  offsets; the layout is documented in the :mod:`~repro.shards.store`
+  docstring and in ``docs/ARCHITECTURE.md``).
+* :class:`~repro.shards.executor.ShardedSweepExecutor` — streams the
+  shards one block at a time, runs each block through any registered
+  kernel backend (``numpy`` / ``threaded`` / ``numba`` / ``auto``), and
+  merges the per-row results — bitwise-equal to the in-core sweep, with a
+  resident working set bounded by ``block_size`` instead of nnz.  Its
+  :meth:`~repro.shards.executor.ShardedSweepExecutor.fit` runs the whole
+  P-Tucker loop out of core.
+
+Entry points elsewhere in the library: ``update_factor_mode(source=store)``
+streams a single mode update, ``PTuckerConfig(shard_dir=..., shard_nnz=...)``
+routes a whole :meth:`~repro.core.ptucker.PTucker.fit` through a store,
+``repro.tensor.io.save_shards`` / ``load_shards`` import and export stores,
+``parallel_update_factor_mode(source=store)`` feeds the process-pool
+workers from shards, and the CLI exposes ``--shards DIR`` on
+``factorize``/``fit``.
+"""
+
+from .store import (
+    DEFAULT_SHARD_NNZ,
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    ShardInfo,
+    ShardStore,
+)
+from .executor import ShardedSweepExecutor
+
+__all__ = [
+    "DEFAULT_SHARD_NNZ",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ShardInfo",
+    "ShardStore",
+    "ShardedSweepExecutor",
+]

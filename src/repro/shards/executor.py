@@ -1,0 +1,217 @@
+"""Streaming sweeps over a shard store: out-of-core P-Tucker.
+
+:class:`ShardedSweepExecutor` drives the row-wise update of
+:mod:`repro.core.row_update` from a :class:`~repro.shards.store.ShardStore`
+instead of an in-RAM :class:`~repro.core.row_update.ModeContext`: shards are
+memory-mapped and streamed one ``block_size`` run of entries at a time, each
+block's normal equations are computed by any registered kernel backend
+(``numpy`` / ``threaded`` / ``numba`` / ``auto``), and the per-row partial
+sums are merged into the factor matrix exactly as the in-core block loop
+merges them.
+
+Because the store's mode-sorted shards hold bit-identical data to the
+in-core sorted arrays and the executor uses the same global block
+boundaries, the streamed sweep performs the *same floating-point operations
+in the same order* as ``update_factor_mode`` on the original tensor — the
+updated factors are bitwise-equal, which the equivalence tests assert.  The
+difference is the working set: instead of nnz-sized sorted index/value
+copies per mode, only the current block (plus the factor matrices, core and
+per-row ``(B, c)`` stacks) is resident.
+
+:meth:`ShardedSweepExecutor.fit` runs the full P-Tucker loop (Algorithm 2)
+against the store — per-mode streamed updates, a streamed residual pass for
+the convergence metrics, and the final orthogonalisation — without ever
+materialising the tensor, so |Omega| is bounded by disk, not RAM.
+
+One scoping note on the bitwise contract: the *convergence metric* is
+accumulated over the store's canonical (mode-0 sorted) entry order.  When
+the original tensor's entry order differs and ``tolerance > 0``, the
+error's last ulp can differ from the in-core fit's, so the stopping
+decision could in principle flip on an exact tie with the threshold; the
+factor updates themselves are bitwise-equal regardless, and with
+``tolerance=0`` (or a tensor already in canonical order) the entire fit
+is bitwise-equal — which is what the equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.config import PTuckerConfig
+from ..core.core_tensor import initialize_core, initialize_factors, orthogonalize
+from ..core.result import TuckerResult
+from ..core.row_update import update_factor_mode
+from ..core.trace import ConvergenceTrace, IterationRecord
+from ..kernels.backends import BackendSpec
+from ..metrics.errors import RECONSTRUCT_BLOCK_SIZE, error_and_loss_stream
+from ..metrics.memory import MemoryTracker
+from ..metrics.timing import IterationTimer
+from ..parallel.scheduler import RowScheduler
+from .store import ShardStore
+
+
+class ShardedSweepExecutor:
+    """Runs mode sweeps (and full fits) by streaming a shard store.
+
+    Parameters
+    ----------
+    store:
+        The shard store to stream from (see :class:`~repro.shards.store.ShardStore`).
+    backend:
+        Kernel execution strategy for each streamed block — any
+        ``backend=`` spec accepted by
+        :func:`~repro.kernels.backends.resolve_backend`.
+    block_size:
+        Entries materialised per streamed block.  Matching the in-core
+        solver's ``block_size`` makes the sweep bitwise-equal to the
+        in-core result; smaller values trade a little dispatch overhead
+        for a smaller resident working set.
+    """
+
+    def __init__(
+        self,
+        store: ShardStore,
+        backend: BackendSpec = "numpy",
+        block_size: int = 200_000,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.store = store
+        self.backend = backend
+        self.block_size = int(block_size)
+
+    # ------------------------------------------------------------------
+    def update_factor_mode(
+        self,
+        factors: List[np.ndarray],
+        core: np.ndarray,
+        mode: int,
+        regularization: float,
+        memory: Optional[MemoryTracker] = None,
+    ) -> np.ndarray:
+        """Update ``A^(mode)`` in place from the store's streamed shards."""
+        return update_factor_mode(
+            None,
+            factors,
+            core,
+            mode,
+            regularization,
+            block_size=self.block_size,
+            memory=memory,
+            backend=self.backend,
+            source=self.store,
+        )
+
+    def sweep(
+        self,
+        factors: List[np.ndarray],
+        core: np.ndarray,
+        regularization: float,
+        memory: Optional[MemoryTracker] = None,
+    ) -> List[np.ndarray]:
+        """One full ALS sweep: every mode updated once, in mode order."""
+        for mode in range(self.store.order):
+            self.update_factor_mode(factors, core, mode, regularization, memory)
+        return factors
+
+    def error_and_loss(
+        self,
+        core: np.ndarray,
+        factors: List[np.ndarray],
+        regularization: float,
+    ) -> tuple:
+        """Streamed reconstruction error (Eq. 5) and loss (Eq. 6).
+
+        Residuals are evaluated over the store's canonical entry order (the
+        mode-0 sorted sequence) in the same
+        :data:`~repro.metrics.errors.RECONSTRUCT_BLOCK_SIZE` chunks the
+        in-core metric uses, so on a tensor stored in that order the values
+        are bitwise-identical to
+        :func:`repro.metrics.errors.error_and_loss`.
+        """
+        return error_and_loss_stream(
+            self.store.iter_mode_blocks(0, RECONSTRUCT_BLOCK_SIZE),
+            core,
+            factors,
+            regularization,
+            expected_entries=self.store.nnz,
+        )
+
+    # ------------------------------------------------------------------
+    def fit(self, config: Optional[PTuckerConfig] = None) -> TuckerResult:
+        """Fit P-Tucker (Algorithm 2) against the store, out of core.
+
+        Mirrors :meth:`repro.core.ptucker.PTucker.fit` step for step —
+        same seeded initialisation, per-mode row updates, one streamed
+        residual pass per iteration, the same convergence rule and the
+        final QR orthogonalisation — with every entry access streamed from
+        disk.  The executor's ``backend`` and ``block_size`` govern the
+        kernels (``config.backend`` / ``config.block_size`` configure the
+        in-core path and are not consulted here); every other
+        hyper-parameter comes from ``config``.
+        """
+        config = config if config is not None else PTuckerConfig()
+        store = self.store
+        ranks = config.resolve_ranks(store.order)
+        rng = np.random.default_rng(config.seed)
+
+        factors = initialize_factors(store.shape, ranks, rng)
+        core = initialize_core(ranks, rng)
+
+        memory = (
+            MemoryTracker(budget_bytes=config.memory_budget_bytes)
+            if config.track_memory
+            else None
+        )
+        scheduler = RowScheduler(
+            n_threads=config.threads, scheduling=config.scheduling
+        )
+        trace = ConvergenceTrace()
+        timer = IterationTimer()
+
+        for iteration in range(1, config.max_iterations + 1):
+            with timer.iteration():
+                for mode in range(store.order):
+                    self.update_factor_mode(
+                        factors, core, mode, config.regularization, memory
+                    )
+                    scheduler.record_mode(store.mode_segmentation(mode)[2])
+                error, loss = self.error_and_loss(
+                    core, factors, config.regularization
+                )
+
+            trace.add(
+                IterationRecord(
+                    iteration=iteration,
+                    reconstruction_error=error,
+                    loss=loss,
+                    seconds=timer.seconds[-1],
+                    core_nnz=int(np.count_nonzero(core)),
+                )
+            )
+            if (
+                iteration >= config.min_iterations
+                and trace.relative_change() < config.tolerance
+            ):
+                trace.converged = True
+                trace.stop_reason = (
+                    f"relative error change below tolerance {config.tolerance}"
+                )
+                break
+        else:
+            trace.stop_reason = f"reached max_iterations={config.max_iterations}"
+
+        if config.orthogonalize:
+            factors, core = orthogonalize(factors, core)
+
+        result = TuckerResult(
+            core=core,
+            factors=list(factors),
+            trace=trace,
+            memory=memory,
+            algorithm="P-Tucker",
+        )
+        result.scheduler = scheduler  # type: ignore[attr-defined]
+        return result

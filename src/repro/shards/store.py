@@ -1,0 +1,629 @@
+"""The on-disk shard store: per-mode, mode-sorted, memory-mapped COO blocks.
+
+A :class:`ShardStore` is the out-of-core representation of a
+:class:`~repro.tensor.coo.SparseTensor`.  For every mode ``n`` the observed
+entries are stably sorted by their mode-``n`` index — exactly the ordering
+:func:`~repro.core.row_update.build_mode_context` produces in RAM — and the
+sorted sequence is cut into consecutive *shards* of at most ``shard_nnz``
+entries, each written as a pair of ``.npy`` files (an ``(m, N)`` int64 index
+block and an ``(m,)`` float64 value block).  Reads go through
+``numpy.load(..., mmap_mode="r")``, so a sweep only ever pages in the block
+it is currently contracting; the nnz-sized sorted index/value copies that a
+:class:`~repro.core.row_update.ModeContext` keeps in RAM never exist.
+
+Directory layout::
+
+    <dir>/manifest.json           # see below
+    <dir>/mode0/row_ids.npy       # distinct mode-0 indices with entries
+    <dir>/mode0/row_starts.npy    # global start offset of each row segment
+    <dir>/mode0/row_counts.npy    # |Omega_in| per listed row
+    <dir>/mode0/shard0000.indices.npy
+    <dir>/mode0/shard0000.values.npy
+    ...                           # one subdirectory per mode
+
+The manifest records, per shard, the global entry range ``[start, stop)``
+it covers in the mode-sorted order, the row range ``[first_row, last_row]``
+its entries touch, and the segment bookkeeping (``segment_offset`` — the
+position in ``row_ids`` of the first row present in the shard,
+``n_segments`` — how many distinct rows appear, and ``continues_segment``
+— whether the first row's segment started in the previous shard).  Shard
+boundaries are *not* snapped to segment boundaries: a row whose segment is
+longer than ``shard_nnz`` simply spans several shards, and the streaming
+executor accumulates its partial normal equations across them, exactly as
+the in-core block loop does for rows that straddle a ``block_size`` chunk.
+
+Because every shard holds exactly the entries ``sorted[start:stop]`` of the
+in-core mode ordering (ties preserved by the stable sort), any consumer
+that walks the shards with the same block boundaries as the in-core path
+performs bit-for-bit the same floating-point operations; that is what makes
+:class:`~repro.shards.executor.ShardedSweepExecutor` bitwise-equal to the
+in-core sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataFormatError, ShapeError
+from ..tensor.coo import SparseTensor
+
+#: Manifest file name inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+#: ``format`` field value identifying a shard-store manifest.
+FORMAT_NAME = "repro-shard-store"
+
+#: Current manifest schema version.
+FORMAT_VERSION = 1
+
+#: Default shard capacity in entries (~32 MB of index+value data at order 3).
+DEFAULT_SHARD_NNZ = 1_000_000
+
+#: Shard memmaps kept open per store (LRU).  Sequential block reads hit the
+#: same one or two shards repeatedly, so a tiny cache removes the repeated
+#: file-open/header-parse per block while keeping the number of
+#: simultaneously mapped shards — and therefore resident file pages —
+#: bounded regardless of tensor size.
+MMAP_CACHE_SHARDS = 4
+
+
+def _tensor_digest(tensor: SparseTensor) -> str:
+    """SHA-256 over the entry bytes (order-sensitive, collision-proof)."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(tensor.indices, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(tensor.values, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Metadata of one on-disk shard of one mode's sorted entry sequence.
+
+    Attributes
+    ----------
+    indices_path / values_path:
+        Paths of the ``.npy`` blocks, relative to the store directory.
+    start / stop:
+        Global entry range ``[start, stop)`` the shard covers inside the
+        mode-sorted order.
+    first_row / last_row:
+        Smallest and largest mode index appearing in the shard.
+    segment_offset:
+        Position in the mode's ``row_ids`` of the first row present here.
+    n_segments:
+        Number of distinct rows with at least one entry in this shard.
+    continues_segment:
+        True when the first row's segment began in the previous shard (the
+        shard boundary split a row's entries).
+    """
+
+    indices_path: str
+    values_path: str
+    start: int
+    stop: int
+    first_row: int
+    last_row: int
+    segment_offset: int
+    n_segments: int
+    continues_segment: bool
+
+    @property
+    def nnz(self) -> int:
+        """Entries stored in this shard."""
+        return self.stop - self.start
+
+    def to_json(self) -> Dict[str, object]:
+        """The manifest entry for this shard."""
+        return {
+            "indices": self.indices_path,
+            "values": self.values_path,
+            "start": self.start,
+            "stop": self.stop,
+            "rows": [self.first_row, self.last_row],
+            "segment_offset": self.segment_offset,
+            "n_segments": self.n_segments,
+            "continues_segment": self.continues_segment,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "ShardInfo":
+        """Parse one manifest shard entry."""
+        try:
+            rows = payload["rows"]
+            return cls(
+                indices_path=str(payload["indices"]),
+                values_path=str(payload["values"]),
+                start=int(payload["start"]),
+                stop=int(payload["stop"]),
+                first_row=int(rows[0]),
+                last_row=int(rows[1]),
+                segment_offset=int(payload["segment_offset"]),
+                n_segments=int(payload["n_segments"]),
+                continues_segment=bool(payload["continues_segment"]),
+            )
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise DataFormatError(f"malformed shard entry in manifest: {exc}") from exc
+
+
+def _mode_dir(mode: int) -> str:
+    return f"mode{mode}"
+
+
+class ShardStore:
+    """Mode-sorted, memory-mapped COO shards of one sparse tensor on disk.
+
+    Build one with :meth:`build` (from an in-RAM tensor) and reopen it later
+    with :meth:`open`; :meth:`for_tensor` combines both, reusing an existing
+    directory when its manifest matches the tensor.  The store implements
+    the *entry source* protocol the row update streams from
+    (:attr:`nnz` / :attr:`shape` / :attr:`order`,
+    :meth:`mode_segmentation`, :meth:`read_mode_block`,
+    :meth:`gather_mode_entries`), so it can be passed directly as
+    ``update_factor_mode(source=...)`` or wrapped in a
+    :class:`~repro.shards.executor.ShardedSweepExecutor`.
+    """
+
+    def __init__(self, directory: str, manifest: Dict[str, object]) -> None:
+        self.directory = os.fspath(directory)
+        self._parse_manifest(manifest)
+        self._segmentation: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._shard_starts: Dict[int, np.ndarray] = {}
+        self._mmap_cache: "OrderedDict[str, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the mmap cache (workers re-map their own shards)."""
+        state = dict(self.__dict__)
+        state["_mmap_cache"] = OrderedDict()
+        return state
+
+    # ------------------------------------------------------------------
+    # Manifest handling
+    # ------------------------------------------------------------------
+    def _parse_manifest(self, manifest: Dict[str, object]) -> None:
+        if manifest.get("format") != FORMAT_NAME:
+            raise DataFormatError(
+                f"{self.directory}: not a shard store "
+                f"(format={manifest.get('format')!r})"
+            )
+        version = int(manifest.get("version", -1))
+        if version != FORMAT_VERSION:
+            raise DataFormatError(
+                f"{self.directory}: unsupported shard-store version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            self.shape: Tuple[int, ...] = tuple(int(s) for s in manifest["shape"])
+            self.nnz: int = int(manifest["nnz"])
+            self.shard_nnz: int = int(manifest["shard_nnz"])
+            modes = manifest["modes"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataFormatError(
+                f"{self.directory}: malformed manifest: {exc}"
+            ) from exc
+        self.fingerprint: Dict[str, float] = dict(manifest.get("fingerprint", {}))
+        if len(modes) != len(self.shape):
+            raise DataFormatError(
+                f"{self.directory}: manifest lists {len(modes)} modes for an "
+                f"order-{len(self.shape)} shape"
+            )
+        self._modes: List[Dict[str, object]] = list(modes)
+        self._shards: Dict[int, List[ShardInfo]] = {}
+        for entry in self._modes:
+            mode = int(entry["mode"])
+            shards = [ShardInfo.from_json(s) for s in entry["shards"]]
+            offset = 0
+            for shard in shards:
+                if shard.start != offset:
+                    raise DataFormatError(
+                        f"{self.directory}: mode {mode} shards are not "
+                        f"contiguous at entry {offset}"
+                    )
+                offset = shard.stop
+            if offset != self.nnz:
+                raise DataFormatError(
+                    f"{self.directory}: mode {mode} shards cover {offset} "
+                    f"entries, manifest says nnz={self.nnz}"
+                )
+            self._shards[mode] = shards
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes N."""
+        return len(self.shape)
+
+    def manifest_path(self) -> str:
+        """Absolute path of this store's manifest file."""
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def mode_shards(self, mode: int) -> List[ShardInfo]:
+        """The shard metadata of one mode, in entry order."""
+        if mode not in self._shards:
+            raise ShapeError(f"mode {mode} out of range for order {self.order}")
+        return list(self._shards[mode])
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        n_shards = sum(len(s) for s in self._shards.values())
+        return (
+            f"ShardStore(dir={self.directory!r}, shape={self.shape}, "
+            f"nnz={self.nnz}, shards={n_shards})"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        tensor: SparseTensor,
+        directory: str,
+        shard_nnz: int = DEFAULT_SHARD_NNZ,
+    ) -> "ShardStore":
+        """Convert ``tensor`` into a shard store at ``directory``.
+
+        For every mode the entries are stably sorted by that mode's index
+        (the :class:`~repro.core.row_update.ModeContext` ordering, ties kept
+        in the tensor's entry order) and written as consecutive shards of at
+        most ``shard_nnz`` entries.  An existing store in ``directory`` is
+        replaced; unrelated files in the directory are left alone.
+        """
+        if shard_nnz < 1:
+            raise ShapeError("shard_nnz must be at least 1")
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+
+        modes_json: List[Dict[str, object]] = []
+        for mode in range(tensor.order):
+            mode_dir = os.path.join(directory, _mode_dir(mode))
+            if os.path.isdir(mode_dir):
+                shutil.rmtree(mode_dir)
+            os.makedirs(mode_dir)
+
+            perm = tensor.sort_by_mode(mode)
+            sorted_indices = np.ascontiguousarray(
+                tensor.indices[perm], dtype=np.int64
+            )
+            sorted_values = np.ascontiguousarray(
+                tensor.values[perm], dtype=np.float64
+            )
+            mode_column = sorted_indices[:, mode] if tensor.nnz else np.zeros(
+                0, dtype=np.int64
+            )
+            row_ids, row_starts, row_counts = np.unique(
+                mode_column, return_index=True, return_counts=True
+            )
+            row_ids = row_ids.astype(np.int64)
+            row_starts = row_starts.astype(np.int64)
+            row_counts = row_counts.astype(np.int64)
+            np.save(os.path.join(mode_dir, "row_ids.npy"), row_ids)
+            np.save(os.path.join(mode_dir, "row_starts.npy"), row_starts)
+            np.save(os.path.join(mode_dir, "row_counts.npy"), row_counts)
+
+            shards_json: List[Dict[str, object]] = []
+            for number, start in enumerate(range(0, tensor.nnz, shard_nnz)):
+                stop = min(start + shard_nnz, tensor.nnz)
+                stem = f"shard{number:04d}"
+                indices_rel = os.path.join(_mode_dir(mode), stem + ".indices.npy")
+                values_rel = os.path.join(_mode_dir(mode), stem + ".values.npy")
+                np.save(
+                    os.path.join(directory, indices_rel),
+                    sorted_indices[start:stop],
+                )
+                np.save(
+                    os.path.join(directory, values_rel), sorted_values[start:stop]
+                )
+                # Rows overlapping [start, stop): the row owning entry
+                # ``start`` is the last one starting at or before it.
+                seg_lo = int(np.searchsorted(row_starts, start, side="right")) - 1
+                seg_hi = int(np.searchsorted(row_starts, stop, side="left"))
+                shards_json.append(
+                    ShardInfo(
+                        indices_path=indices_rel,
+                        values_path=values_rel,
+                        start=start,
+                        stop=stop,
+                        first_row=int(mode_column[start]),
+                        last_row=int(mode_column[stop - 1]),
+                        segment_offset=seg_lo,
+                        n_segments=seg_hi - seg_lo,
+                        continues_segment=bool(row_starts[seg_lo] < start),
+                    ).to_json()
+                )
+            modes_json.append({"mode": mode, "shards": shards_json})
+
+        manifest: Dict[str, object] = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "shape": [int(s) for s in tensor.shape],
+            "order": tensor.order,
+            "nnz": tensor.nnz,
+            "shard_nnz": int(shard_nnz),
+            "dtypes": {"indices": "int64", "values": "float64"},
+            "fingerprint": {
+                "values_sum": float(np.sum(tensor.values)) if tensor.nnz else 0.0,
+                "indices_sum": int(tensor.indices.sum()) if tensor.nnz else 0,
+                "entries_sha256": _tensor_digest(tensor),
+            },
+            "modes": modes_json,
+        }
+        with open(os.path.join(directory, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return cls(directory, manifest)
+
+    @classmethod
+    def open(cls, directory: str) -> "ShardStore":
+        """Open an existing shard store (raises when no manifest is found)."""
+        directory = os.fspath(directory)
+        path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            raise DataFormatError(
+                f"{directory}: no {MANIFEST_NAME}; not a shard store"
+            ) from None
+        except ValueError as exc:
+            raise DataFormatError(f"{path}: invalid JSON: {exc}") from exc
+        return cls(directory, manifest)
+
+    @classmethod
+    def for_tensor(
+        cls,
+        tensor: SparseTensor,
+        directory: str,
+        shard_nnz: int = DEFAULT_SHARD_NNZ,
+    ) -> "ShardStore":
+        """Open ``directory`` if it already shards ``tensor``; build otherwise.
+
+        A store is reused when its shape, nnz and entry digest match the
+        tensor (see :meth:`matches`) — repeated CLI runs over the same
+        dataset then skip the rewrite.  Any mismatch (including a
+        different ``shard_nnz``) triggers a rebuild.
+        """
+        try:
+            store = cls.open(directory)
+        except DataFormatError:
+            return cls.build(tensor, directory, shard_nnz=shard_nnz)
+        if store.matches(tensor) and store.shard_nnz == int(shard_nnz):
+            return store
+        return cls.build(tensor, directory, shard_nnz=shard_nnz)
+
+    def matches(self, tensor: SparseTensor) -> bool:
+        """True when this store was built from exactly ``tensor``.
+
+        Compares shape, nnz and the manifest's SHA-256 over the entry
+        bytes, so sum-preserving edits (swapped values, redistributed
+        weight) can never alias a stale store.  The digest is
+        order-sensitive: re-parsing the same file matches, a reordered
+        tensor rebuilds.
+        """
+        if self.shape != tuple(tensor.shape) or self.nnz != tensor.nnz:
+            return False
+        recorded = self.fingerprint.get("entries_sha256")
+        if not recorded:
+            return False
+        return recorded == _tensor_digest(tensor)
+
+    # ------------------------------------------------------------------
+    # Entry-source protocol (what the row update streams from)
+    # ------------------------------------------------------------------
+    def mode_segmentation(
+        self, mode: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(row_ids, row_starts, row_counts)`` of one mode's sorted order.
+
+        These are the same arrays a :class:`~repro.core.row_update.ModeContext`
+        holds; their size is the number of distinct mode indices (at most
+        ``shape[mode]``), so they are loaded into RAM eagerly and cached.
+        """
+        if mode not in self._segmentation:
+            if mode not in self._shards:
+                raise ShapeError(
+                    f"mode {mode} out of range for order {self.order}"
+                )
+            mode_dir = os.path.join(self.directory, _mode_dir(mode))
+            try:
+                loaded = tuple(
+                    np.load(os.path.join(mode_dir, name))
+                    for name in ("row_ids.npy", "row_starts.npy", "row_counts.npy")
+                )
+            except (OSError, ValueError) as exc:
+                raise DataFormatError(
+                    f"{self.directory}: cannot read mode-{mode} row "
+                    f"segmentation: {exc}"
+                ) from exc
+            self._segmentation[mode] = loaded
+        return self._segmentation[mode]
+
+    def _starts_of(self, mode: int) -> np.ndarray:
+        """Global start offsets of one mode's shards (for searchsorted)."""
+        if mode not in self._shard_starts:
+            self._shard_starts[mode] = np.asarray(
+                [s.start for s in self._shards[mode]], dtype=np.int64
+            )
+        return self._shard_starts[mode]
+
+    def _mmap_shard(self, shard: ShardInfo) -> Tuple[np.ndarray, np.ndarray]:
+        """Memory-map one shard's index and value blocks (read-only).
+
+        The most recently touched :data:`MMAP_CACHE_SHARDS` maps are kept
+        open, so the block loop's repeated visits to the same shard skip
+        the file open and ``.npy`` header parse; older maps are dropped,
+        keeping the simultaneously resident file pages bounded.
+        """
+        cached = self._mmap_cache.get(shard.indices_path)
+        if cached is not None:
+            self._mmap_cache.move_to_end(shard.indices_path)
+            return cached
+        try:
+            indices = np.load(
+                os.path.join(self.directory, shard.indices_path), mmap_mode="r"
+            )
+            values = np.load(
+                os.path.join(self.directory, shard.values_path), mmap_mode="r"
+            )
+        except (OSError, ValueError) as exc:
+            raise DataFormatError(
+                f"{self.directory}: cannot map shard "
+                f"{shard.indices_path!r}: {exc}"
+            ) from exc
+        self._mmap_cache[shard.indices_path] = (indices, values)
+        while len(self._mmap_cache) > MMAP_CACHE_SHARDS:
+            self._mmap_cache.popitem(last=False)
+        return indices, values
+
+    def read_mode_block(
+        self, mode: int, start: int, stop: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Entries ``[start, stop)`` of the mode-sorted order, as RAM copies.
+
+        The requested range may span shard boundaries; only the touched
+        shards are mapped (through the small LRU of :meth:`_mmap_shard`)
+        and only the requested rows are copied, so resident memory is
+        bounded by the block being read plus at most
+        :data:`MMAP_CACHE_SHARDS` mapped shards — not by nnz.
+        """
+        if mode not in self._shards:
+            raise ShapeError(f"mode {mode} out of range for order {self.order}")
+        start = max(0, int(start))
+        stop = min(int(stop), self.nnz)
+        length = max(0, stop - start)
+        shards = self._shards[mode]
+        if length == 0 or not shards:
+            return (
+                np.empty((0, self.order), dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        starts = self._starts_of(mode)
+        first = int(np.searchsorted(starts, start, side="right")) - 1
+        indices_out = np.empty((length, self.order), dtype=np.int64)
+        values_out = np.empty(length, dtype=np.float64)
+        filled = 0
+        for shard in shards[first:]:
+            if shard.start >= stop:
+                break
+            lo = max(start, shard.start) - shard.start
+            hi = min(stop, shard.stop) - shard.start
+            indices_mm, values_mm = self._mmap_shard(shard)
+            indices_out[filled : filled + hi - lo] = indices_mm[lo:hi]
+            values_out[filled : filled + hi - lo] = values_mm[lo:hi]
+            filled += hi - lo
+        return indices_out, values_out
+
+    def gather_mode_entries(
+        self, mode: int, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Arbitrary entries of the mode-sorted order, by global position.
+
+        ``positions`` need not be sorted or contiguous (the process-pool
+        executor gathers each worker's scattered row segments this way).
+        Positions are grouped per shard so each touched shard is mapped
+        once.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        indices_out = np.empty((positions.shape[0], self.order), dtype=np.int64)
+        values_out = np.empty(positions.shape[0], dtype=np.float64)
+        if positions.shape[0] == 0:
+            return indices_out, values_out
+        if positions.min() < 0 or positions.max() >= self.nnz:
+            raise ShapeError("entry positions out of range for this store")
+        starts = self._starts_of(mode)
+        owner = np.searchsorted(starts, positions, side="right") - 1
+        for shard_number in np.unique(owner):
+            shard = self._shards[mode][int(shard_number)]
+            mask = owner == shard_number
+            local = positions[mask] - shard.start
+            indices_mm, values_mm = self._mmap_shard(shard)
+            indices_out[mask] = indices_mm[local]
+            values_out[mask] = values_mm[local]
+        return indices_out, values_out
+
+    def iter_mode_blocks(
+        self, mode: int, block_size: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream one mode's sorted entries in ``block_size`` chunks."""
+        if block_size < 1:
+            raise ShapeError("block_size must be positive")
+        for start in range(0, self.nnz, block_size):
+            yield self.read_mode_block(mode, start, min(start + block_size, self.nnz))
+
+    # ------------------------------------------------------------------
+    # Import / export
+    # ------------------------------------------------------------------
+    def to_tensor(self) -> SparseTensor:
+        """Materialise the store as an in-RAM sparse tensor.
+
+        Entries come back in the store's canonical order — the mode-0 sorted
+        sequence.  The set of entries equals the tensor the store was built
+        from; only the ordering is normalised.
+        """
+        indices, values = self.read_mode_block(0, 0, self.nnz)
+        return SparseTensor(indices, values, self.shape)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the on-disk data against the manifest (beyond `open`'s checks).
+
+        Verifies, per mode: every shard file exists with the declared shape
+        and dtype, shard entries really are sorted by the mode index with
+        row ranges matching the manifest, and the row segmentation is
+        consistent with the shard contents.  Raises
+        :class:`~repro.exceptions.DataFormatError` on the first violation.
+        """
+        for mode in range(self.order):
+            row_ids, row_starts, row_counts = self.mode_segmentation(mode)
+            if row_counts.sum() != self.nnz:
+                raise DataFormatError(
+                    f"{self.directory}: mode {mode} row counts sum to "
+                    f"{int(row_counts.sum())}, expected nnz={self.nnz}"
+                )
+            previous_last = None
+            for shard in self._shards[mode]:
+                indices_mm, values_mm = self._mmap_shard(shard)
+                if indices_mm.shape != (shard.nnz, self.order):
+                    raise DataFormatError(
+                        f"{self.directory}: {shard.indices_path} has shape "
+                        f"{indices_mm.shape}, manifest says "
+                        f"({shard.nnz}, {self.order})"
+                    )
+                if values_mm.shape != (shard.nnz,):
+                    raise DataFormatError(
+                        f"{self.directory}: {shard.values_path} has shape "
+                        f"{values_mm.shape}, manifest says ({shard.nnz},)"
+                    )
+                column = np.asarray(indices_mm[:, mode])
+                if column.size and np.any(np.diff(column) < 0):
+                    raise DataFormatError(
+                        f"{self.directory}: {shard.indices_path} is not "
+                        f"sorted by mode {mode}"
+                    )
+                if column.size and (
+                    int(column[0]) != shard.first_row
+                    or int(column[-1]) != shard.last_row
+                ):
+                    raise DataFormatError(
+                        f"{self.directory}: {shard.indices_path} row range "
+                        f"[{int(column[0])}, {int(column[-1])}] does not match "
+                        f"manifest [{shard.first_row}, {shard.last_row}]"
+                    )
+                if previous_last is not None and column.size and (
+                    int(column[0]) < previous_last
+                ):
+                    raise DataFormatError(
+                        f"{self.directory}: mode-{mode} shards overlap in row "
+                        f"order at {shard.indices_path}"
+                    )
+                if column.size:
+                    previous_last = int(column[-1])

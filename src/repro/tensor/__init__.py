@@ -11,7 +11,7 @@ from .dense import (
     tucker_reconstruct,
     unfold,
 )
-from .io import load_npz, load_text, save_npz, save_text
+from .io import load_npz, load_shards, load_text, save_npz, save_shards, save_text
 from .operations import (
     factor_rows_product,
     sparse_gram_chain,
@@ -39,4 +39,6 @@ __all__ = [
     "save_text",
     "load_npz",
     "save_npz",
+    "load_shards",
+    "save_shards",
 ]

@@ -1,9 +1,11 @@
-"""Reading and writing sparse tensors in the text format the paper uses.
+"""Reading and writing sparse tensors: text, ``.npz`` and shard stores.
 
 The P-Tucker release reads whitespace-separated text files where each line is
 ``i_1 i_2 ... i_N value`` (1-based indices).  This module reads and writes
-that format, auto-detects the tensor shape when one is not given, and also
-supports a simple ``.npz`` binary round-trip for faster test fixtures.
+that format, auto-detects the tensor shape when one is not given, supports a
+simple ``.npz`` binary round-trip for faster test fixtures, and exports /
+imports the out-of-core shard-store format of :mod:`repro.shards`
+(:func:`save_shards` / :func:`load_shards`).
 """
 
 from __future__ import annotations
@@ -99,6 +101,32 @@ def load_npz(path: PathLike) -> SparseTensor:
         if missing:
             raise DataFormatError(f"{path}: missing arrays {sorted(missing)}")
         return SparseTensor(data["indices"], data["values"], tuple(data["shape"]))
+
+
+def save_shards(tensor: SparseTensor, directory: PathLike, shard_nnz: int = 1_000_000):
+    """Export ``tensor`` as a mode-sorted shard store at ``directory``.
+
+    Writes the memory-mapped COO shard layout of
+    :class:`~repro.shards.store.ShardStore` (per-mode ``.npy`` index/value
+    blocks plus a JSON manifest) and returns the built store, ready for
+    out-of-core sweeps.
+    """
+    from ..shards import ShardStore
+
+    return ShardStore.build(tensor, os.fspath(directory), shard_nnz=shard_nnz)
+
+
+def load_shards(directory: PathLike) -> SparseTensor:
+    """Import a shard store back into an in-RAM :class:`SparseTensor`.
+
+    Entries come back in the store's canonical (mode-0 sorted) order; the
+    entry set is identical to the exported tensor.  Raises
+    :class:`~repro.exceptions.DataFormatError` when ``directory`` holds no
+    valid manifest.
+    """
+    from ..shards import ShardStore
+
+    return ShardStore.open(os.fspath(directory)).to_tensor()
 
 
 def roundtrip_paths(base: PathLike) -> Tuple[str, str]:

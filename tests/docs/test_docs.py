@@ -1,0 +1,69 @@
+"""Fast documentation checks, part of the default pytest run.
+
+Two guarantees: the README quickstart actually executes (its ``>>>``
+snippets run under doctest), and no relative link in ``README.md`` or
+``docs/*.md`` points at a file that does not exist.
+"""
+
+import doctest
+import pathlib
+import pydoc
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+README = REPO_ROOT / "README.md"
+DOC_FILES = [README] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+#: Markdown inline links: [text](target).  Images and reference-style links
+#: are not used in this repository's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_readme_quickstart_doctests(tmp_path, monkeypatch):
+    """Every ``>>>`` example in the README runs and prints what it claims."""
+    monkeypatch.chdir(tmp_path)  # stray outputs land in the test sandbox
+    results = doctest.testfile(
+        str(README),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0, "README lost its executable quickstart"
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    targets = LINK_RE.findall(doc.read_text(encoding="utf-8"))
+    assert targets, f"{doc.name} contains no links — regex or docs regressed"
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = (doc.parent / target.split("#")[0]).resolve()
+        assert path.exists(), f"{doc.name}: broken relative link {target!r}"
+
+
+def test_readme_documents_the_cli_flags():
+    """The CLI reference table keeps up with the parser's flags."""
+    text = README.read_text(encoding="utf-8")
+    for flag in ("--backend", "--shards", "--shard-nnz", "--ranks"):
+        assert flag in text, f"README CLI table is missing {flag}"
+
+
+@pytest.mark.parametrize(
+    "module,expected",
+    [
+        ("repro.shards", ("ShardStore", "ShardedSweepExecutor", "manifest")),
+        ("repro.shards.store", ("read_mode_block", "mode_segmentation")),
+        ("repro.shards.executor", ("bitwise", "fit")),
+        ("repro.kernels.backends", ("KernelBackend", "resolve_backend", "auto")),
+        ("repro.kernels.backends.base", ("make_normal_equations_kernel",)),
+    ],
+)
+def test_pydoc_renders_public_api(module, expected):
+    """``python -m pydoc`` output for the public APIs is usable: the module
+    docstrings exist and name their central concepts."""
+    text = pydoc.render_doc(module)
+    for needle in expected:
+        assert needle in text, f"pydoc {module} does not mention {needle!r}"

@@ -110,6 +110,75 @@ class TestFactorizeCommand:
         assert code == 0
         assert "error=" in capsys.readouterr().out
 
+    def test_fit_alias_with_shards(self, tensor_file, tmp_path, capsys):
+        """`fit --shards DIR` builds a shard store and streams the sweeps."""
+        path, _ = tensor_file
+        shard_dir = tmp_path / "shards"
+        code = main(
+            [
+                "fit",
+                path,
+                "--ranks",
+                "2",
+                "2",
+                "2",
+                "--max-iterations",
+                "2",
+                "--shards",
+                str(shard_dir),
+                "--shard-nnz",
+                "100",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "streaming sweeps from shard store" in output
+        assert "error=" in output
+        assert (shard_dir / "manifest.json").exists()
+
+    def test_shards_match_in_core_model(self, tensor_file, tmp_path, capsys):
+        """The sharded CLI run stores the same model as the in-core run."""
+        path, _ = tensor_file
+        incore_prefix = str(tmp_path / "incore")
+        sharded_prefix = str(tmp_path / "sharded")
+        base = ["factorize", path, "--ranks", "2", "2", "2",
+                "--max-iterations", "2", "--tolerance", "0"]
+        assert main(base + ["--output", incore_prefix]) == 0
+        assert main(
+            base
+            + [
+                "--output",
+                sharded_prefix,
+                "--shards",
+                str(tmp_path / "shards"),
+                "--shard-nnz",
+                "128",
+            ]
+        ) == 0
+        capsys.readouterr()
+        incore = load_model(incore_prefix + ".npz")
+        sharded = load_model(sharded_prefix + ".npz")
+        np.testing.assert_array_equal(sharded.core, incore.core)
+        for mine, reference in zip(sharded.factors, incore.factors):
+            np.testing.assert_array_equal(mine, reference)
+
+    def test_shards_reject_other_algorithms(self, tensor_file, tmp_path, capsys):
+        path, _ = tensor_file
+        code = main(
+            [
+                "factorize",
+                path,
+                "--algorithm",
+                "s-hot",
+                "--ranks",
+                "2",
+                "--shards",
+                str(tmp_path / "shards"),
+            ]
+        )
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
     def test_all_registered_algorithms_are_constructible(self):
         config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=1)
         for name, cls in ALGORITHMS.items():
