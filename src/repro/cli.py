@@ -4,11 +4,16 @@ Usage::
 
     python -m repro factorize ratings.tns --ranks 10 10 5 5 --output model
     python -m repro fit ratings.tns --ranks 10 --shards /data/shards
+    python -m repro fit ratings.tns --ranks 10 --from-text --output model
+    python -m repro ingest ratings.tns --shards /data/shards
     python -m repro predict model.npz --index 3 17 2 14
     python -m repro info ratings.tns
 
 (``fit`` is an alias of ``factorize``; ``--shards DIR`` streams the sweeps
-from an on-disk shard store instead of RAM — see :mod:`repro.shards`.)
+from an on-disk shard store instead of RAM, ``--from-text`` additionally
+streams the *input file* through the external-memory shard build so the
+tensor never exists in RAM, and ``ingest`` runs that build on its own —
+see :mod:`repro.shards`.)
 
 ``factorize`` reads a whitespace-separated ``i_1 ... i_N value`` file (the
 format of the paper's released datasets), runs the chosen algorithm, reports
@@ -30,6 +35,7 @@ from .core import PTucker, PTuckerApprox, PTuckerCache, PTuckerConfig, TuckerRes
 from .core.sampled import PTuckerSampled
 from .kernels.backends import backend_names_for_cli
 from .tensor import SparseTensor, load_text
+from .tensor.io import DEFAULT_CHUNK_NNZ, open_entry_reader
 
 ALGORITHMS = {
     "ptucker": PTucker,
@@ -112,6 +118,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="entries per shard when --shards builds a store (default: 1e6)",
     )
+    factorize.add_argument(
+        "--from-text",
+        action="store_true",
+        help="stream the input file through the external-memory shard "
+        "build instead of loading it into RAM (ptucker only; the store "
+        "lands at --shards DIR when given, else in a temporary "
+        "directory), so the whole fit runs with bounded memory",
+    )
+    factorize.add_argument(
+        "--chunk-nnz",
+        type=int,
+        default=DEFAULT_CHUNK_NNZ,
+        help="entries read per chunk during --from-text ingest "
+        "(default: 5e5; bounds ingest peak memory)",
+    )
     factorize.add_argument("--regularization", type=float, default=0.01)
     factorize.add_argument("--max-iterations", type=int, default=20)
     factorize.add_argument("--tolerance", type=float, default=1e-4)
@@ -131,6 +152,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default="", help="prefix for the stored model (.npz)"
     )
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="stream a tensor file into an on-disk shard store (bounded RAM)",
+    )
+    ingest.add_argument(
+        "input",
+        help="tensor input: a 'i_1 ... i_N value' text file, a .npz "
+        "archive, or an existing shard-store directory to re-shard",
+    )
+    ingest.add_argument(
+        "--shards",
+        metavar="DIR",
+        required=True,
+        help="target directory for the built shard store",
+    )
+    ingest.add_argument(
+        "--shard-nnz",
+        type=int,
+        default=1_000_000,
+        help="entries per shard in the built store (default: 1e6)",
+    )
+    ingest.add_argument(
+        "--chunk-nnz",
+        type=int,
+        default=DEFAULT_CHUNK_NNZ,
+        help="entries read per chunk (default: 5e5; bounds peak memory)",
+    )
+    ingest.add_argument(
+        "--zero-based",
+        action="store_true",
+        help="indices in a text input start at 0 instead of 1",
+    )
+
     predict = subparsers.add_parser("predict", help="predict one cell of a stored model")
     predict.add_argument("model", help="path to a model .npz written by 'factorize'")
     predict.add_argument(
@@ -145,20 +199,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_factorize(args: argparse.Namespace) -> int:
-    if args.shards and args.algorithm != "ptucker":
+    if (args.shards or args.from_text) and args.algorithm != "ptucker":
+        flag = "--shards" if args.shards else "--from-text"
         print(
-            "error: --shards supports the base 'ptucker' algorithm only "
+            f"error: {flag} supports the base 'ptucker' algorithm only "
             f"(got --algorithm {args.algorithm})",
             file=sys.stderr,
         )
         return 2
-    tensor = load_text(args.tensor, one_based=not args.zero_based)
-    print(f"loaded {tensor}")
-    test: Optional[SparseTensor] = None
-    train = tensor
-    if args.test_fraction > 0.0:
-        train, test = tensor.split(1.0 - args.test_fraction, rng=np.random.default_rng(args.seed))
-        print(f"holding out {test.nnz} entries for testing")
+    if args.from_text and args.test_fraction > 0.0:
+        print(
+            "error: --from-text streams the input and cannot hold out a "
+            "test split; drop --test-fraction or load in RAM",
+            file=sys.stderr,
+        )
+        return 2
 
     config = PTuckerConfig(
         ranks=tuple(args.ranks),
@@ -169,11 +224,35 @@ def _command_factorize(args: argparse.Namespace) -> int:
         backend=args.backend,
         shard_dir=args.shards or None,
         shard_nnz=args.shard_nnz,
+        ingest_chunk_nnz=args.chunk_nnz,
     )
     solver = ALGORITHMS[args.algorithm](config)
-    if args.shards:
-        print(f"streaming sweeps from shard store at {args.shards}")
-    result = solver.fit(train)
+
+    test: Optional[SparseTensor] = None
+    if args.from_text:
+        from .tensor import NpzEntryReader
+
+        reader = open_entry_reader(args.tensor, one_based=not args.zero_based)
+        if isinstance(reader, NpzEntryReader):
+            print(
+                f"streaming ingest of {args.tensor} (.npz arrays decompress "
+                "in RAM; the shard build itself stays chunked)"
+            )
+        else:
+            print(f"streaming ingest of {args.tensor} (tensor never held in RAM)")
+        result = solver.fit_streaming(reader)
+    else:
+        tensor = load_text(args.tensor, one_based=not args.zero_based)
+        print(f"loaded {tensor}")
+        train = tensor
+        if args.test_fraction > 0.0:
+            train, test = tensor.split(
+                1.0 - args.test_fraction, rng=np.random.default_rng(args.seed)
+            )
+            print(f"holding out {test.nnz} entries for testing")
+        if args.shards:
+            print(f"streaming sweeps from shard store at {args.shards}")
+        result = solver.fit(train)
 
     print(result.summary())
     for record in result.trace.records:
@@ -186,6 +265,25 @@ def _command_factorize(args: argparse.Namespace) -> int:
     if args.output:
         path = save_model(result, args.output)
         print(f"model written to {path}")
+    return 0
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from .tensor.io import save_shards
+
+    reader = open_entry_reader(args.input, one_based=not args.zero_based)
+    store = save_shards(
+        None,
+        args.shards,
+        shard_nnz=args.shard_nnz,
+        source=reader,
+        chunk_nnz=args.chunk_nnz,
+    )
+    n_shards = sum(len(store.mode_shards(mode)) for mode in range(store.order))
+    print(f"ingested {args.input} into shard store at {store.directory}")
+    print(f"shape: {store.shape}")
+    print(f"observed entries: {store.nnz}")
+    print(f"shards: {n_shards} ({store.shard_nnz} entries per shard)")
     return 0
 
 
@@ -227,6 +325,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command in ("factorize", "fit"):
         return _command_factorize(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     if args.command == "predict":
         return _command_predict(args)
     if args.command == "info":

@@ -66,6 +66,12 @@ class PTuckerConfig:
     shard_nnz:
         Shard capacity in entries used when ``shard_dir`` triggers a store
         build (default 1,000,000 — about 32 MB per order-3 shard).
+    ingest_chunk_nnz:
+        Entries read per chunk when a fit streams its input through the
+        external-memory shard build
+        (:meth:`~repro.core.ptucker.PTucker.fit_streaming`, CLI
+        ``fit --from-text`` / ``ingest``).  Bounds the ingest pass's peak
+        memory; the built store is bitwise-identical for every value.
     """
 
     ranks: Tuple[int, ...] = (10,)
@@ -84,6 +90,7 @@ class PTuckerConfig:
     backend: str = "numpy"
     shard_dir: Optional[str] = None
     shard_nnz: int = 1_000_000
+    ingest_chunk_nnz: int = 500_000
 
     def __post_init__(self) -> None:
         if self.regularization < 0:
@@ -104,6 +111,8 @@ class PTuckerConfig:
             raise ShapeError("block_size must be positive")
         if self.shard_nnz < 1:
             raise ShapeError("shard_nnz must be positive")
+        if self.ingest_chunk_nnz < 1:
+            raise ShapeError("ingest_chunk_nnz must be positive")
         from ..kernels.backends import backend_names_for_cli
 
         if self.backend not in backend_names_for_cli():

@@ -95,6 +95,49 @@ class PTucker:
         return core
 
     # ------------------------------------------------------------------
+    def fit_streaming(self, source) -> TuckerResult:
+        """Fit from a chunked entry source without materialising the tensor.
+
+        ``source`` is any reader implementing the entry-chunk protocol of
+        :mod:`repro.tensor.io` (text file, ``.npz``, shard store, in-RAM
+        tensor).  The entries are spilled into a shard store with the
+        external-memory build (reading at most ``config.ingest_chunk_nnz``
+        entries at a time — see
+        :meth:`repro.shards.ShardStore.build_streaming`) and the fit is
+        delegated to the out-of-core
+        :class:`~repro.shards.executor.ShardedSweepExecutor`, so peak
+        memory stays bounded by the chunk/block sizes from raw file to
+        fitted model.  The store lands at ``config.shard_dir`` when set,
+        otherwise in a temporary directory that is removed after the fit.
+        """
+        config = self.config
+        if type(self) is not PTucker:
+            raise ShapeError(
+                "streaming ingest supports the base P-Tucker solver only, "
+                f"not {type(self).__name__} (its per-entry state indexes "
+                "the in-RAM entry order)"
+            )
+        from ..shards import ShardedSweepExecutor, ShardStore
+
+        def fit_at(directory: str) -> TuckerResult:
+            store = ShardStore.build_streaming(
+                source,
+                directory,
+                shard_nnz=config.shard_nnz,
+                chunk_nnz=config.ingest_chunk_nnz,
+            )
+            executor = ShardedSweepExecutor(
+                store, backend=config.backend, block_size=config.block_size
+            )
+            return executor.fit(config)
+
+        if config.shard_dir:
+            return fit_at(config.shard_dir)
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-ingest-") as tmp_dir:
+            return fit_at(tmp_dir)
+
     def fit(self, tensor: SparseTensor) -> TuckerResult:
         """Factorize ``tensor`` and return the fitted model.
 

@@ -57,6 +57,15 @@ def run(
         "the ModeContext's nnz-sized sorted copies, sharded streams "
         "mmap'd shards at the same block size (see docs/BENCHMARKS.md)"
     )
+    result.add_note(
+        "ingest columns: seconds_parse_text vs seconds_parse_text_loop = "
+        "vectorized reader vs the frozen seed per-line parser on the same "
+        "counts-precision text file; seconds_build_streaming covers the "
+        "whole text->store external-memory build at a fixed chunk size "
+        "with peak_*_mb_build_* bounded by the chunk, and "
+        "streaming_build_equals_incore asserts the store is bitwise-"
+        "identical to ShardStore.build (see docs/BENCHMARKS.md)"
+    )
     if output:
         path = write_payload(payload, os.path.abspath(output))
         result.add_note(f"wrote {path}")

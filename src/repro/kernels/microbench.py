@@ -28,6 +28,14 @@ a :class:`~repro.core.row_update.ModeContext` keeps; the sharded number
 only ever holds one streamed block, which is the memory win the shard
 store exists for (see ``docs/BENCHMARKS.md``).
 
+Each cell also benchmarks the **streaming ingest** path: the vectorized
+text parser against the frozen seed per-line loop
+(``seconds_parse_text`` / ``seconds_parse_text_loop`` /
+``parse_speedup_vs_loop``) and the external-memory shard build against the
+in-RAM one (``seconds_build_*``, ``peak_traced_mb_build_*``,
+``peak_rss_mb_build_*``, ``streaming_build_equals_incore``) — see
+:func:`_bench_ingest`.
+
 The resulting rows are what ``benchmarks/run_benchmarks.py`` and
 ``python -m repro.experiments bench-kernels`` serialise into
 ``BENCH_kernels.json`` — the repository's recorded perf trajectory.
@@ -55,7 +63,9 @@ from ..core.row_update import (
     build_mode_context,
     update_factor_mode,
 )
+from ..exceptions import DataFormatError
 from ..tensor.coo import SparseTensor
+from ..tensor.io import TextEntryReader, load_text, save_npz, save_text
 from .backends import HAVE_NUMBA, available_backends
 
 #: Full default grid: small enough for minutes-scale runs, but it includes
@@ -363,6 +373,282 @@ def _bench_sharded_vs_incore(
     return row
 
 
+def _parse_text_per_line(path: str) -> SparseTensor:
+    """The seed per-line text parser, kept verbatim as the timing baseline.
+
+    This is the ``load_text`` implementation the repository shipped before
+    ingest was vectorized; the ``parse_speedup_vs_loop`` column measures
+    the current reader against it on the same file, so the recorded
+    speedup stays meaningful across refreshes.
+    """
+    indices = []
+    values = []
+    order = None
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) < 2:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected at least one index and a value"
+                )
+            if order is None:
+                order = len(parts) - 1
+            elif len(parts) - 1 != order:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected {order} indices, "
+                    f"got {len(parts) - 1}"
+                )
+            try:
+                idx = [int(p) for p in parts[:-1]]
+                val = float(parts[-1])
+            except ValueError as exc:
+                raise DataFormatError(f"{path}:{lineno}: {exc}") from exc
+            idx = [i - 1 for i in idx]
+            if any(i < 0 for i in idx):
+                raise DataFormatError(
+                    f"{path}:{lineno}: negative index after applying base offset"
+                )
+            indices.append(idx)
+            values.append(val)
+    index_array = np.asarray(indices, dtype=np.int64)
+    value_array = np.asarray(values, dtype=np.float64)
+    shape = tuple(int(m) + 1 for m in index_array.max(axis=0))
+    return SparseTensor(index_array, value_array, shape)
+
+
+def _counts_like(tensor: SparseTensor) -> SparseTensor:
+    """The cell's tensor with values quantized to small positive counts.
+
+    Real text tensors (NELL triple counts, network-traffic counts,
+    integer ratings) carry short value tokens; full-precision ``%.17g``
+    output of random doubles is the pathological widest case and times the
+    C ``strtod`` more than the parser.  The ingest cells therefore
+    benchmark the short-token regime, which both parsers agree on bit for
+    bit.
+    """
+    counts = np.floor(np.abs(tensor.values) * 4.0) + 1.0
+    return tensor.with_values(np.minimum(counts, 99.0))
+
+
+#: Child process measuring one shard-store *build*'s peak-RSS growth (same
+#: cold-process rationale as ``_PEAK_RSS_CHILD``).  The in-RAM variant
+#: loads the tensor from ``.npz`` — its resident input state, acquired
+#: without the parser's transient allocations, which would otherwise leave
+#: warm allocator arenas that mask the build's growth — and snapshots
+#: before ``ShardStore.build``; the streaming variant snapshots before
+#: ``build_streaming`` so its delta covers the whole text parse + spill +
+#: merge pipeline, which is exactly the bounded-memory claim.
+_PEAK_RSS_BUILD_CHILD = """
+import json, os, sys, threading
+
+from repro.shards import ShardStore
+from repro.tensor.io import TextEntryReader, load_npz
+
+PAGE = os.sysconf("SC_PAGE_SIZE")
+
+
+def rss_bytes():
+    with open("/proc/self/statm", "rb") as handle:
+        return int(handle.read().split()[1]) * PAGE
+
+
+kind, input_path, out_dir, shard_nnz, chunk_nnz = (
+    sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4]), int(sys.argv[5])
+)
+if kind == "build_incore":
+    tensor = load_npz(input_path)
+else:
+    reader = TextEntryReader(input_path)
+
+baseline = rss_bytes()
+peak = baseline
+stop = threading.Event()
+
+
+def sample():
+    global peak
+    while not stop.is_set():
+        peak = max(peak, rss_bytes())
+        stop.wait(0.0005)
+
+
+sampler = threading.Thread(target=sample, daemon=True)
+sampler.start()
+if kind == "build_incore":
+    ShardStore.build(tensor, out_dir, shard_nnz=shard_nnz)
+else:
+    ShardStore.build_streaming(
+        reader, out_dir, shard_nnz=shard_nnz, chunk_nnz=chunk_nnz
+    )
+peak = max(peak, rss_bytes())
+stop.set()
+sampler.join()
+print(json.dumps({"delta_kb": max(0, peak - baseline) / 1024.0}))
+"""
+
+
+def _child_peak_rss_build_mb(
+    kind: str, input_path: str, out_dir: str, shard_nnz: int, chunk_nnz: int
+) -> Optional[float]:
+    """Peak-RSS growth of one shard-store build, in a cold subprocess (MiB)."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    try:
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _PEAK_RSS_BUILD_CHILD,
+                kind,
+                input_path,
+                out_dir,
+                str(shard_nnz),
+                str(chunk_nnz),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        if completed.returncode != 0:
+            return None
+        delta_kb = json.loads(completed.stdout.strip())["delta_kb"]
+    except (OSError, ValueError, KeyError, subprocess.TimeoutExpired):
+        return None
+    return float(delta_kb) / 1024.0
+
+
+def _directories_identical(left: str, right: str) -> bool:
+    """True when both trees hold the same files with identical bytes."""
+    left_files = sorted(
+        os.path.relpath(os.path.join(dirpath, name), left)
+        for dirpath, _, names in os.walk(left)
+        for name in names
+    )
+    right_files = sorted(
+        os.path.relpath(os.path.join(dirpath, name), right)
+        for dirpath, _, names in os.walk(right)
+        for name in names
+    )
+    if left_files != right_files:
+        return False
+    for relative in left_files:
+        with open(os.path.join(left, relative), "rb") as handle:
+            left_bytes = handle.read()
+        with open(os.path.join(right, relative), "rb") as handle:
+            right_bytes = handle.read()
+        if left_bytes != right_bytes:
+            return False
+    return True
+
+
+def _bench_ingest(
+    tensor: SparseTensor, repeats: int
+) -> Dict[str, object]:
+    """Streaming-ingest columns: text parse and out-of-core build.
+
+    Writes the cell's tensor (values quantized to small counts — the
+    short-token regime of real text data) as a text file, then measures: the
+    vectorized parser against the frozen seed per-line loop
+    (``seconds_parse_text`` / ``seconds_parse_text_loop``), the in-RAM
+    shard build against the external-memory streaming build at an
+    8192-entry chunk size shared across the large cells
+    (``seconds_build_*``), the bitwise-identity of the two
+    stores, and each build's peak memory — deterministic tracemalloc
+    (``peak_traced_mb_build_*``) plus cold-subprocess RSS
+    (``peak_rss_mb_build_*``).  The streaming numbers cover the whole
+    text → store pipeline, whose peak is bounded by the chunk size; the
+    in-RAM numbers start from an already-parsed tensor and still scale
+    with nnz.
+    """
+    from ..shards import ShardStore
+
+    counts = _counts_like(tensor)
+    # 8192-entry chunks for every cell large enough to sustain them (the
+    # streaming build's peak should stay flat as nnz grows while the
+    # in-RAM build's scales); only cells under 32k entries shrink to
+    # nnz/4 so chunking is still exercised.
+    chunk_nnz = max(1_024, min(8_192, tensor.nnz // 4))
+    row: Dict[str, object] = {"ingest_chunk_nnz": int(chunk_nnz)}
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-bench-") as work:
+        text_path = os.path.join(work, "cell.tns")
+        save_text(counts, text_path)
+
+        best_vectorized = best_loop = float("inf")
+        parsed = None
+        parse_repeats = max(3, repeats)  # cheap and noise-sensitive
+        gc.collect()
+        for _ in range(parse_repeats):
+            start = perf_counter()
+            parsed = load_text(text_path)
+            best_vectorized = min(best_vectorized, perf_counter() - start)
+        gc.collect()
+        for _ in range(parse_repeats):
+            start = perf_counter()
+            loop_tensor = _parse_text_per_line(text_path)
+            best_loop = min(best_loop, perf_counter() - start)
+        row["seconds_parse_text"] = best_vectorized
+        row["seconds_parse_text_loop"] = best_loop
+        row["parse_speedup_vs_loop"] = best_loop / max(best_vectorized, 1e-12)
+        row["parse_equals_loop"] = bool(
+            np.array_equal(parsed.indices, loop_tensor.indices)
+            and np.array_equal(parsed.values, loop_tensor.values)
+        )
+
+        incore_dir = os.path.join(work, "incore")
+        stream_dir = os.path.join(work, "stream")
+
+        def incore_build():
+            parsed.clear_caches()
+            start = perf_counter()
+            ShardStore.build(parsed, incore_dir, shard_nnz=chunk_nnz)
+            return perf_counter() - start
+
+        def streaming_build_run():
+            reader = TextEntryReader(text_path)
+            start = perf_counter()
+            ShardStore.build_streaming(
+                reader, stream_dir, shard_nnz=chunk_nnz, chunk_nnz=chunk_nnz
+            )
+            return perf_counter() - start
+
+        best_incore = best_stream = float("inf")
+        for _ in range(max(1, repeats)):
+            best_incore = min(best_incore, incore_build())
+            best_stream = min(best_stream, streaming_build_run())
+        row["seconds_build_incore"] = best_incore
+        row["seconds_build_streaming"] = best_stream
+        row["streaming_build_equals_incore"] = _directories_identical(
+            incore_dir, stream_dir
+        )
+
+        _, traced_incore = _run_with_traced_peak(incore_build)
+        _, traced_stream = _run_with_traced_peak(streaming_build_run)
+        mib = 1024.0 * 1024.0
+        row["peak_traced_mb_build_incore"] = traced_incore / mib
+        row["peak_traced_mb_build_streaming"] = traced_stream / mib
+
+        npz_path = os.path.join(work, "cell.npz")
+        save_npz(counts, npz_path)
+        rss_incore = _child_peak_rss_build_mb(
+            "build_incore", npz_path, incore_dir, chunk_nnz, chunk_nnz
+        )
+        rss_stream = _child_peak_rss_build_mb(
+            "build_streaming", text_path, stream_dir, chunk_nnz, chunk_nnz
+        )
+        if rss_incore is not None:
+            row["peak_rss_mb_build_incore"] = rss_incore
+        if rss_stream is not None:
+            row["peak_rss_mb_build_streaming"] = rss_stream
+    return row
+
+
 def _brute_force_error(
     tensor: SparseTensor,
     factors: Sequence[np.ndarray],
@@ -446,6 +732,7 @@ def run_microbench(
         row.update(
             _bench_sharded_vs_incore(tensor, factors, core, repeats)
         )
+        row.update(_bench_ingest(tensor, repeats))
         rows.append(row)
     return {
         "benchmark": "kernel_microbench",

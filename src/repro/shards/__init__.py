@@ -18,14 +18,24 @@ disjoint row ranges.  This package provides the two pieces:
   resident working set bounded by ``block_size`` instead of nnz.  Its
   :meth:`~repro.shards.executor.ShardedSweepExecutor.fit` runs the whole
   P-Tucker loop out of core.
+* :mod:`~repro.shards.merge` — the external-memory build behind
+  :meth:`~repro.shards.store.ShardStore.build_streaming`: chunks from any
+  entry reader (:mod:`repro.tensor.io`) are spilled as per-mode sorted
+  runs and k-way merged into the same shard layout, bitwise-identical to
+  the in-RAM build, with peak memory bounded by the chunk size.  This
+  closes the last in-RAM stage of the pipeline: a raw text file becomes a
+  store — and a fitted model — without the tensor ever existing in RAM.
 
 Entry points elsewhere in the library: ``update_factor_mode(source=store)``
-streams a single mode update, ``PTuckerConfig(shard_dir=..., shard_nnz=...)``
-routes a whole :meth:`~repro.core.ptucker.PTucker.fit` through a store,
-``repro.tensor.io.save_shards`` / ``load_shards`` import and export stores,
+streams a single mode update, ``PTuckerConfig(shard_dir=..., shard_nnz=...,
+ingest_chunk_nnz=...)`` routes a whole
+:meth:`~repro.core.ptucker.PTucker.fit` through a store,
+:meth:`~repro.core.ptucker.PTucker.fit_streaming` fits straight from a
+chunked reader, ``repro.tensor.io.save_shards`` / ``load_shards`` import
+and export stores (``save_shards(source=...)`` builds out of core),
 ``parallel_update_factor_mode(source=store)`` feeds the process-pool
-workers from shards, and the CLI exposes ``--shards DIR`` on
-``factorize``/``fit``.
+workers from shards, and the CLI exposes ``--shards DIR`` plus the
+streaming ``ingest`` command and ``fit --from-text``.
 """
 
 from .store import (
@@ -37,6 +47,7 @@ from .store import (
     ShardStore,
 )
 from .executor import ShardedSweepExecutor
+from .merge import streaming_build
 
 __all__ = [
     "DEFAULT_SHARD_NNZ",
@@ -46,4 +57,5 @@ __all__ = [
     "ShardInfo",
     "ShardStore",
     "ShardedSweepExecutor",
+    "streaming_build",
 ]

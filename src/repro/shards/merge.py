@@ -1,0 +1,552 @@
+"""External-memory shard-store builds: spill sorted runs, k-way merge.
+
+:func:`streaming_build` turns any chunked entry source (the protocol of
+:mod:`repro.tensor.io`) into the on-disk layout of
+:class:`~repro.shards.store.ShardStore` without ever materialising the
+tensor.  It is the out-of-core counterpart of
+:meth:`~repro.shards.store.ShardStore.build` and produces **bitwise
+identical** output — same shard ``.npy`` files, same segmentation arrays,
+same manifest (including the SHA-256 entry fingerprint) — which the
+equivalence tests assert file by file.
+
+The classic two-phase external sort, once per mode:
+
+1. *Spill.*  Each chunk of at most ``chunk_nnz`` entries is stably sorted
+   by the mode's index column in RAM and written to a *run* — three
+   ``.npy`` files under ``<dir>/.ingest-tmp/mode<n>/``: the sorted index
+   block, the sorted values, and the entries' original positions in the
+   input order.  Because the chunk sort is stable and positions within a
+   chunk are increasing, every run is sorted by the compound key
+   ``(mode index, original position)`` — the exact ordering of the stable
+   ``argsort`` the in-RAM build uses.
+2. *Merge.*  A heap over the run cursors pops the run with the smallest
+   head key; a galloping ``searchsorted`` finds how far that run can emit
+   before the next run's head key intervenes, so entries move in blocks,
+   not one at a time.  Emitted blocks stream straight into the shard
+   ``.npy`` files (headers written up front — every shard's size is known
+   from ``nnz`` and ``shard_nnz``) while the row segmentation accumulates
+   on the fly.  When the spill produced more than :data:`MAX_OPEN_RUNS`
+   runs, the merge *cascades* first — groups of runs are merged into
+   longer intermediate runs until one pass fits — so open file
+   descriptors stay bounded regardless of tensor size.
+
+While spilling, the ingest pass also accumulates everything the manifest
+fingerprint needs: the SHA-256 digest over the index bytes (value bytes are
+streamed into the digest afterwards from the value spill, preserving the
+``indices-then-values`` digest order of ``ShardStore.build``), the integer
+index sum, per-mode maxima for shape inference, and the value spill itself,
+whose memory-map yields the same pairwise-summed ``values_sum`` NumPy
+computes over an in-RAM array.
+
+Peak memory is O(``chunk_nnz``) plus the segmentation arrays (one entry
+per distinct row id); disk usage during the build is roughly twice the
+final store (runs + shards) and the runs of each mode are deleted as soon
+as that mode is merged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import shutil
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataFormatError, ShapeError
+from ..tensor.io import DEFAULT_CHUNK_NNZ
+from .store import (
+    DEFAULT_SHARD_NNZ,
+    _manifest_payload,
+    _mode_dir,
+    _mode_shards_json,
+    _write_manifest,
+)
+
+#: Name of the scratch directory inside the target store directory.
+INGEST_TMP_DIR = ".ingest-tmp"
+
+#: Entries copied per merge emission (bounds the RAM of one emit).
+MERGE_BLOCK_NNZ = 65_536
+
+#: Runs merged simultaneously.  Every open run holds three memory-mapped
+#: files (and their descriptors), so huge tensors — millions of entries
+#: per chunk times thousands of chunks — must not map every run at once;
+#: above this fan-in the merge cascades: groups of this many runs are
+#: merged into longer runs first, repeating until one pass fits.
+MAX_OPEN_RUNS = 128
+
+
+def _npy_header(handle, shape: Tuple[int, ...], dtype) -> None:
+    """Write the ``.npy`` header ``numpy.save`` would write for this array."""
+    np.lib.format.write_array_header_1_0(
+        handle,
+        {
+            "descr": np.lib.format.dtype_to_descr(np.dtype(dtype)),
+            "fortran_order": False,
+            "shape": tuple(int(s) for s in shape),
+        },
+    )
+
+
+class _ShardSeriesWriter:
+    """Streams one mode's merged entries into its shard ``.npy`` files.
+
+    Shard boundaries depend only on ``nnz`` and ``shard_nnz``, so every
+    shard's exact size is known before the first entry arrives; headers are
+    written up front and raw C-order bytes appended, which reproduces
+    ``numpy.save`` output byte for byte.
+    """
+
+    def __init__(
+        self, directory: str, mode: int, nnz: int, order: int, shard_nnz: int
+    ) -> None:
+        self.directory = directory
+        self.mode = mode
+        self.nnz = nnz
+        self.order = order
+        self.shard_nnz = shard_nnz
+        self.shard_no = 0
+        self.filled = 0  # entries written into the current shard
+        self._indices_handle = None
+        self._values_handle = None
+
+    def _open_next(self) -> None:
+        stem = f"shard{self.shard_no:04d}"
+        size = min(self.shard_nnz, self.nnz - self.shard_no * self.shard_nnz)
+        mode_dir = os.path.join(self.directory, _mode_dir(self.mode))
+        self._indices_handle = open(
+            os.path.join(mode_dir, stem + ".indices.npy"), "wb"
+        )
+        _npy_header(self._indices_handle, (size, self.order), np.int64)
+        self._values_handle = open(
+            os.path.join(mode_dir, stem + ".values.npy"), "wb"
+        )
+        _npy_header(self._values_handle, (size,), np.float64)
+        self._capacity = size
+
+    def write(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Append a merged block, cutting shard files at their boundaries."""
+        offset = 0
+        total = indices.shape[0]
+        while offset < total:
+            if self._indices_handle is None:
+                self._open_next()
+            take = min(self._capacity - self.filled, total - offset)
+            piece = slice(offset, offset + take)
+            self._indices_handle.write(
+                np.ascontiguousarray(indices[piece], dtype=np.int64).tobytes()
+            )
+            self._values_handle.write(
+                np.ascontiguousarray(values[piece], dtype=np.float64).tobytes()
+            )
+            self.filled += take
+            offset += take
+            if self.filled == self._capacity:
+                self._indices_handle.close()
+                self._values_handle.close()
+                self._indices_handle = None
+                self._values_handle = None
+                self.shard_no += 1
+                self.filled = 0
+
+    def close(self) -> None:
+        if self._indices_handle is not None:  # pragma: no cover - defensive
+            self._indices_handle.close()
+            self._values_handle.close()
+            raise DataFormatError(
+                f"mode {self.mode}: merge ended mid-shard "
+                f"({self.filled} of {self._capacity} entries)"
+            )
+
+
+class _SegmentationAccumulator:
+    """Row segmentation (``row_ids``/``row_starts``/``row_counts``) on the fly.
+
+    Consumes the mode column of each merged block (sorted, possibly
+    continuing the previous block's last row) and produces the same arrays
+    ``numpy.unique`` yields over the full sorted column.
+    """
+
+    def __init__(self) -> None:
+        self._ids: List[np.ndarray] = []
+        self._counts: List[np.ndarray] = []
+        self._tail_id: Optional[int] = None
+        self._tail_count = 0
+
+    def update(self, column: np.ndarray) -> None:
+        if column.size == 0:
+            return
+        boundaries = np.flatnonzero(column[1:] != column[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ids = column[starts]
+        counts = np.diff(np.concatenate((starts, [column.size])))
+        if self._tail_id is not None and int(ids[0]) == self._tail_id:
+            counts[0] += self._tail_count
+        elif self._tail_id is not None:
+            self._ids.append(np.asarray([self._tail_id], dtype=np.int64))
+            self._counts.append(np.asarray([self._tail_count], dtype=np.int64))
+        self._tail_id = int(ids[-1])
+        self._tail_count = int(counts[-1])
+        if ids.size > 1:
+            self._ids.append(ids[:-1].astype(np.int64))
+            self._counts.append(counts[:-1].astype(np.int64))
+
+    def finish(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._tail_id is not None:
+            self._ids.append(np.asarray([self._tail_id], dtype=np.int64))
+            self._counts.append(np.asarray([self._tail_count], dtype=np.int64))
+            self._tail_id = None
+        if not self._ids:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        ids = np.concatenate(self._ids)
+        counts = np.concatenate(self._counts)
+        starts = np.empty_like(counts)
+        starts[0] = 0
+        np.cumsum(counts[:-1], out=starts[1:])
+        return ids, starts, counts
+
+
+class _IngestState:
+    """Everything the spill pass accumulates about the entry stream."""
+
+    def __init__(
+        self,
+        tmp_dir: str,
+        shape: Optional[Sequence[int]],
+        chunk_nnz: int = MERGE_BLOCK_NNZ,
+    ) -> None:
+        self.tmp_dir = tmp_dir
+        self.chunk_nnz = int(chunk_nnz)
+        self.declared_shape = (
+            tuple(int(s) for s in shape) if shape is not None else None
+        )
+        self.order: Optional[int] = (
+            len(self.declared_shape) if self.declared_shape else None
+        )
+        self.nnz = 0
+        self.indices_sum = 0
+        self.maxima: Optional[np.ndarray] = None
+        self.digest = hashlib.sha256()
+        self.run_count = 0
+        self.values_spill_path = os.path.join(tmp_dir, "values.f8")
+
+    def shape(self) -> Tuple[int, ...]:
+        if self.declared_shape is not None:
+            return self.declared_shape
+        return tuple(int(m) + 1 for m in self.maxima)
+
+
+def _spill_chunk(
+    state: _IngestState, indices: np.ndarray, values: np.ndarray
+) -> None:
+    """Sort one chunk per mode and write its runs (plus the value spill)."""
+    base = state.nnz
+    run = state.run_count
+    for mode in range(state.order):
+        perm = np.argsort(indices[:, mode], kind="stable")
+        mode_tmp = os.path.join(state.tmp_dir, _mode_dir(mode))
+        stem = os.path.join(mode_tmp, f"run{run:06d}")
+        np.save(stem + ".indices.npy", indices[perm])
+        np.save(stem + ".values.npy", values[perm])
+        np.save(stem + ".positions.npy", base + perm)
+    state.run_count += 1
+
+
+def _ingest(state: _IngestState, source, chunk_nnz: int) -> None:
+    """Spill every chunk of ``source`` and accumulate the fingerprint."""
+    bound = (
+        np.asarray(state.declared_shape, dtype=np.int64)
+        if state.declared_shape is not None
+        else None
+    )
+    with open(state.values_spill_path, "wb") as values_spill:
+        for indices, values in source.iter_entry_chunks(chunk_nnz):
+            indices = np.ascontiguousarray(indices, dtype=np.int64)
+            values = np.ascontiguousarray(values, dtype=np.float64)
+            if indices.ndim != 2 or values.shape != (indices.shape[0],):
+                raise DataFormatError(
+                    "entry source yielded inconsistent chunk shapes "
+                    f"{indices.shape} / {values.shape}"
+                )
+            if indices.shape[0] == 0:
+                continue
+            if state.order is None:
+                state.order = indices.shape[1]
+            elif indices.shape[1] != state.order:
+                raise DataFormatError(
+                    f"entry source switched from order {state.order} to "
+                    f"{indices.shape[1]} mid-stream"
+                )
+            if state.maxima is None:
+                state.maxima = np.zeros(state.order, dtype=np.int64)
+                for mode in range(state.order):
+                    os.makedirs(
+                        os.path.join(state.tmp_dir, _mode_dir(mode)),
+                        exist_ok=True,
+                    )
+            if int(indices.min()) < 0:
+                raise ShapeError("indices must be non-negative")
+            if bound is not None and (indices >= bound[None, :]).any():
+                raise ShapeError("an index exceeds the tensor shape")
+            if not np.isfinite(values).all():
+                raise ShapeError("tensor values must be finite")
+            state.digest.update(indices.tobytes())
+            values_spill.write(values.tobytes())
+            state.indices_sum += int(indices.sum())
+            np.maximum(state.maxima, indices.max(axis=0), out=state.maxima)
+            _spill_chunk(state, indices, values)
+            state.nnz += indices.shape[0]
+
+
+def _iter_merged(runs, mode: int, merge_block: int):
+    """Merge sorted runs; yield ``(indices, values, positions)`` blocks.
+
+    ``runs`` are ``(indices, values, positions)`` triples (typically
+    memory maps), each sorted by the compound key
+    ``(indices[:, mode], positions)``.  A heap over the run cursors pops
+    the run with the smallest head key; a galloping ``searchsorted``
+    finds how far it can emit before the next run's head intervenes, so
+    entries move in blocks of at most ``merge_block``.
+    """
+    cursors = [0] * len(runs)
+    heap = []
+    for run_id, (indices, _, positions) in enumerate(runs):
+        if indices.shape[0]:
+            heapq.heappush(
+                heap,
+                (int(indices[0, mode]), int(positions[0]), run_id),
+            )
+    while heap:
+        _, _, run_id = heapq.heappop(heap)
+        indices, values, positions = runs[run_id]
+        cursor = cursors[run_id]
+        window_stop = min(indices.shape[0], cursor + merge_block)
+        if heap:
+            next_value, next_position, _ = heap[0]
+            column = indices[cursor:window_stop, mode]
+            # Emit every entry with key strictly below the next run's head:
+            # all rows below ``next_value``, plus the tied rows whose
+            # original position precedes ``next_position``.
+            below = int(np.searchsorted(column, next_value, side="left"))
+            tie_stop = int(np.searchsorted(column, next_value, side="right"))
+            ties = int(
+                np.searchsorted(
+                    positions[cursor + below : cursor + tie_stop],
+                    next_position,
+                    side="left",
+                )
+            )
+            stop = cursor + below + ties
+        else:
+            stop = window_stop
+        if stop == cursor:  # pragma: no cover - heap invariant guarantees > 0
+            stop = cursor + 1
+        yield (
+            np.asarray(indices[cursor:stop], dtype=np.int64),
+            np.asarray(values[cursor:stop], dtype=np.float64),
+            positions[cursor:stop],
+        )
+        cursors[run_id] = stop
+        if stop < indices.shape[0]:
+            heapq.heappush(
+                heap,
+                (int(indices[stop, mode]), int(positions[stop]), run_id),
+            )
+
+
+def _open_runs(stems):
+    """Memory-map the ``(indices, values, positions)`` files of each stem."""
+    return [
+        (
+            np.load(stem + ".indices.npy", mmap_mode="r"),
+            np.load(stem + ".values.npy", mmap_mode="r"),
+            np.load(stem + ".positions.npy", mmap_mode="r"),
+        )
+        for stem in stems
+    ]
+
+
+def _delete_run(stem: str) -> None:
+    for suffix in (".indices.npy", ".values.npy", ".positions.npy"):
+        try:
+            os.remove(stem + suffix)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def _cascade_runs(
+    state: _IngestState,
+    mode: int,
+    stems: List[str],
+    merge_block: int,
+    max_open: Optional[int] = None,
+) -> List[str]:
+    """Merge groups of runs into longer runs until one pass fits ``max_open``.
+
+    Keeps at most ``max_open`` runs (3 memory-mapped files each) open at a
+    time, so descriptor usage stays bounded no matter how many chunks the
+    ingest spilled; each intermediate run is itself sorted by the compound
+    key, so later passes — and the final shard merge — stay bitwise
+    identical to a flat merge.
+    """
+    if max_open is None:  # read at call time so tests can shrink it
+        max_open = MAX_OPEN_RUNS
+    pass_number = 0
+    while len(stems) > max_open:
+        merged_stems: List[str] = []
+        for group_number, start in enumerate(range(0, len(stems), max_open)):
+            group = stems[start : start + max_open]
+            out_stem = os.path.join(
+                state.tmp_dir,
+                _mode_dir(mode),
+                f"cascade{pass_number:02d}_{group_number:06d}",
+            )
+            runs = _open_runs(group)
+            total = sum(run[0].shape[0] for run in runs)
+            with open(out_stem + ".indices.npy", "wb") as indices_out, open(
+                out_stem + ".values.npy", "wb"
+            ) as values_out, open(out_stem + ".positions.npy", "wb") as pos_out:
+                _npy_header(indices_out, (total, state.order), np.int64)
+                _npy_header(values_out, (total,), np.float64)
+                _npy_header(pos_out, (total,), np.int64)
+                for indices, values, positions in _iter_merged(
+                    runs, mode, merge_block
+                ):
+                    indices_out.write(indices.tobytes())
+                    values_out.write(values.tobytes())
+                    pos_out.write(
+                        np.ascontiguousarray(positions, dtype=np.int64).tobytes()
+                    )
+            del runs  # close the mappings before deleting their files
+            for stem in group:
+                _delete_run(stem)
+            merged_stems.append(out_stem)
+        stems = merged_stems
+        pass_number += 1
+    return stems
+
+
+def _merge_mode(
+    state: _IngestState,
+    mode: int,
+    directory: str,
+    shard_nnz: int,
+    merge_block: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """K-way merge one mode's runs into its shard files; return segmentation."""
+    if merge_block is None:
+        # Emissions are the merge's only nnz-independent allocations; keep
+        # them within the caller's chunk budget.
+        merge_block = max(1_024, min(MERGE_BLOCK_NNZ, state.chunk_nnz))
+    stems = [
+        os.path.join(state.tmp_dir, _mode_dir(mode), f"run{run:06d}")
+        for run in range(state.run_count)
+    ]
+    stems = _cascade_runs(state, mode, stems, merge_block)
+    runs = _open_runs(stems)
+    writer = _ShardSeriesWriter(directory, mode, state.nnz, state.order, shard_nnz)
+    segmentation = _SegmentationAccumulator()
+    for block_indices, block_values, _ in _iter_merged(runs, mode, merge_block):
+        writer.write(block_indices, block_values)
+        segmentation.update(block_indices[:, mode])
+    writer.close()
+    return segmentation.finish()
+
+
+def streaming_build(
+    source,
+    directory: str,
+    shard_nnz: int = DEFAULT_SHARD_NNZ,
+    chunk_nnz: Optional[int] = None,
+    shape: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Build the shard-store layout from a chunked entry source; return its manifest.
+
+    See the module docstring for the algorithm and
+    :meth:`repro.shards.ShardStore.build_streaming` for the public entry
+    point.  ``shape`` (or ``source.shape``) is required only when the
+    source yields no entries; otherwise it is inferred.
+    """
+    if shard_nnz < 1:
+        raise ShapeError("shard_nnz must be at least 1")
+    chunk_nnz = DEFAULT_CHUNK_NNZ if chunk_nnz is None else int(chunk_nnz)
+    if chunk_nnz < 1:
+        raise ShapeError("chunk_nnz must be at least 1")
+    if shape is None:
+        shape = getattr(source, "shape", None)
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    tmp_dir = os.path.join(directory, INGEST_TMP_DIR)
+    if os.path.isdir(tmp_dir):
+        shutil.rmtree(tmp_dir)
+    os.makedirs(tmp_dir)
+    try:
+        state = _IngestState(tmp_dir, shape, chunk_nnz)
+        _ingest(state, source, chunk_nnz)
+        if state.order is None:
+            raise DataFormatError(
+                "entry source produced no entries and no shape; an empty "
+                "store needs an explicit shape"
+            )
+        if state.nnz and state.maxima is None:  # pragma: no cover - defensive
+            raise DataFormatError("ingest finished in an inconsistent state")
+
+        # Fingerprint: indices were digested during the spill; values are
+        # appended now, preserving ShardStore.build's digest order.  The
+        # value sum runs over the spill's memory map, which NumPy reduces
+        # with the same pairwise algorithm as an in-RAM array.
+        if state.nnz:
+            with open(state.values_spill_path, "rb") as spill:
+                while True:
+                    piece = spill.read(1 << 20)
+                    if not piece:
+                        break
+                    state.digest.update(piece)
+            values_map = np.memmap(
+                state.values_spill_path, dtype=np.float64, mode="r"
+            )
+            values_sum = float(np.sum(values_map))
+            del values_map
+        else:
+            values_sum = 0.0
+        fingerprint = {
+            "values_sum": values_sum,
+            "indices_sum": state.indices_sum,
+            "entries_sha256": state.digest.hexdigest(),
+        }
+
+        modes_json: List[Dict[str, object]] = []
+        for mode in range(state.order):
+            mode_dir = os.path.join(directory, _mode_dir(mode))
+            if os.path.isdir(mode_dir):
+                shutil.rmtree(mode_dir)
+            os.makedirs(mode_dir)
+            row_ids, row_starts, row_counts = _merge_mode(
+                state, mode, directory, shard_nnz
+            )
+            np.save(os.path.join(mode_dir, "row_ids.npy"), row_ids)
+            np.save(os.path.join(mode_dir, "row_starts.npy"), row_starts)
+            np.save(os.path.join(mode_dir, "row_counts.npy"), row_counts)
+            modes_json.append(
+                {
+                    "mode": mode,
+                    "shards": _mode_shards_json(
+                        mode, state.nnz, shard_nnz, row_ids, row_starts
+                    ),
+                }
+            )
+            # This mode's runs are merged; free their disk before the next.
+            shutil.rmtree(
+                os.path.join(tmp_dir, _mode_dir(mode)), ignore_errors=True
+            )
+
+        manifest = _manifest_payload(
+            state.shape(), state.nnz, shard_nnz, fingerprint, modes_json
+        )
+        _write_manifest(directory, manifest)
+        return manifest
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)

@@ -157,6 +157,73 @@ def _mode_dir(mode: int) -> str:
     return f"mode{mode}"
 
 
+def _mode_shards_json(
+    mode: int,
+    nnz: int,
+    shard_nnz: int,
+    row_ids: np.ndarray,
+    row_starts: np.ndarray,
+) -> List[Dict[str, object]]:
+    """Manifest entries of one mode's shards, from its row segmentation.
+
+    Shard boundaries are fixed by ``nnz`` and ``shard_nnz`` alone; every
+    row-range and segment field is derived from ``row_ids``/``row_starts``,
+    so the in-RAM build and the external-memory merge produce identical
+    manifests by construction.
+    """
+    shards: List[Dict[str, object]] = []
+    for number, start in enumerate(range(0, nnz, shard_nnz)):
+        stop = min(start + shard_nnz, nnz)
+        stem = f"shard{number:04d}"
+        # Rows overlapping [start, stop): the row owning entry ``start`` is
+        # the last one starting at or before it.
+        seg_lo = int(np.searchsorted(row_starts, start, side="right")) - 1
+        seg_hi = int(np.searchsorted(row_starts, stop, side="left"))
+        last_seg = int(np.searchsorted(row_starts, stop - 1, side="right")) - 1
+        shards.append(
+            ShardInfo(
+                indices_path=os.path.join(_mode_dir(mode), stem + ".indices.npy"),
+                values_path=os.path.join(_mode_dir(mode), stem + ".values.npy"),
+                start=start,
+                stop=stop,
+                first_row=int(row_ids[seg_lo]),
+                last_row=int(row_ids[last_seg]),
+                segment_offset=seg_lo,
+                n_segments=seg_hi - seg_lo,
+                continues_segment=bool(row_starts[seg_lo] < start),
+            ).to_json()
+        )
+    return shards
+
+
+def _manifest_payload(
+    shape: Sequence[int],
+    nnz: int,
+    shard_nnz: int,
+    fingerprint: Dict[str, object],
+    modes_json: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """The manifest dictionary shared by both build paths."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "shape": [int(s) for s in shape],
+        "order": len(shape),
+        "nnz": int(nnz),
+        "shard_nnz": int(shard_nnz),
+        "dtypes": {"indices": "int64", "values": "float64"},
+        "fingerprint": fingerprint,
+        "modes": modes_json,
+    }
+
+
+def _write_manifest(directory: str, manifest: Dict[str, object]) -> None:
+    """Serialise a manifest into ``directory`` (sorted keys, trailing newline)."""
+    with open(os.path.join(directory, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 class ShardStore:
     """Mode-sorted, memory-mapped COO shards of one sparse tensor on disk.
 
@@ -308,57 +375,74 @@ class ShardStore:
             np.save(os.path.join(mode_dir, "row_starts.npy"), row_starts)
             np.save(os.path.join(mode_dir, "row_counts.npy"), row_counts)
 
-            shards_json: List[Dict[str, object]] = []
-            for number, start in enumerate(range(0, tensor.nnz, shard_nnz)):
-                stop = min(start + shard_nnz, tensor.nnz)
-                stem = f"shard{number:04d}"
-                indices_rel = os.path.join(_mode_dir(mode), stem + ".indices.npy")
-                values_rel = os.path.join(_mode_dir(mode), stem + ".values.npy")
+            shards_json = _mode_shards_json(
+                mode, tensor.nnz, shard_nnz, row_ids, row_starts
+            )
+            for shard_json in shards_json:
+                start = int(shard_json["start"])
+                stop = int(shard_json["stop"])
                 np.save(
-                    os.path.join(directory, indices_rel),
+                    os.path.join(directory, str(shard_json["indices"])),
                     sorted_indices[start:stop],
                 )
                 np.save(
-                    os.path.join(directory, values_rel), sorted_values[start:stop]
-                )
-                # Rows overlapping [start, stop): the row owning entry
-                # ``start`` is the last one starting at or before it.
-                seg_lo = int(np.searchsorted(row_starts, start, side="right")) - 1
-                seg_hi = int(np.searchsorted(row_starts, stop, side="left"))
-                shards_json.append(
-                    ShardInfo(
-                        indices_path=indices_rel,
-                        values_path=values_rel,
-                        start=start,
-                        stop=stop,
-                        first_row=int(mode_column[start]),
-                        last_row=int(mode_column[stop - 1]),
-                        segment_offset=seg_lo,
-                        n_segments=seg_hi - seg_lo,
-                        continues_segment=bool(row_starts[seg_lo] < start),
-                    ).to_json()
+                    os.path.join(directory, str(shard_json["values"])),
+                    sorted_values[start:stop],
                 )
             modes_json.append({"mode": mode, "shards": shards_json})
+            # Release this mode's cached sort permutation (and the sorted
+            # copies) before the next mode doubles the build's peak memory.
+            del perm, sorted_indices, sorted_values, mode_column
+            tensor.clear_caches()
 
-        manifest: Dict[str, object] = {
-            "format": FORMAT_NAME,
-            "version": FORMAT_VERSION,
-            "shape": [int(s) for s in tensor.shape],
-            "order": tensor.order,
-            "nnz": tensor.nnz,
-            "shard_nnz": int(shard_nnz),
-            "dtypes": {"indices": "int64", "values": "float64"},
-            "fingerprint": {
+        manifest = _manifest_payload(
+            tensor.shape,
+            tensor.nnz,
+            shard_nnz,
+            {
                 "values_sum": float(np.sum(tensor.values)) if tensor.nnz else 0.0,
                 "indices_sum": int(tensor.indices.sum()) if tensor.nnz else 0,
                 "entries_sha256": _tensor_digest(tensor),
             },
-            "modes": modes_json,
-        }
-        with open(os.path.join(directory, MANIFEST_NAME), "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+            modes_json,
+        )
+        _write_manifest(directory, manifest)
         return cls(directory, manifest)
+
+    @classmethod
+    def build_streaming(
+        cls,
+        source,
+        directory: str,
+        shard_nnz: int = DEFAULT_SHARD_NNZ,
+        chunk_nnz: Optional[int] = None,
+        shape: Optional[Sequence[int]] = None,
+    ) -> "ShardStore":
+        """Build a shard store from a chunked entry source, out of core.
+
+        ``source`` is any reader implementing the entry-chunk protocol of
+        :mod:`repro.tensor.io` (``iter_entry_chunks(chunk_nnz)`` plus an
+        optional ``shape`` attribute): a text file, ``.npz`` archive,
+        in-RAM tensor or another store.  Entries are spilled to per-mode
+        sorted runs of at most ``chunk_nnz`` entries and k-way merged into
+        the shard layout on disk (see :mod:`repro.shards.merge`), so peak
+        memory is bounded by the chunk size — never by nnz — and the
+        resulting directory is **bitwise-identical** to
+        :meth:`build` on the same entries: same shard files, same
+        manifest, same fingerprint.  ``shape`` overrides the source's own
+        shape; when neither is given it is inferred as max index + 1 per
+        mode, exactly as :func:`repro.tensor.io.load_text` infers it.
+        """
+        from .merge import streaming_build
+
+        manifest = streaming_build(
+            source,
+            os.fspath(directory),
+            shard_nnz=shard_nnz,
+            chunk_nnz=chunk_nnz,
+            shape=shape,
+        )
+        return cls(os.fspath(directory), manifest)
 
     @classmethod
     def open(cls, directory: str) -> "ShardStore":

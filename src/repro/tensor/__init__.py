@@ -11,7 +11,19 @@ from .dense import (
     tucker_reconstruct,
     unfold,
 )
-from .io import load_npz, load_shards, load_text, save_npz, save_shards, save_text
+from .io import (
+    NpzEntryReader,
+    ShardEntryReader,
+    TensorEntryReader,
+    TextEntryReader,
+    load_npz,
+    load_shards,
+    load_text,
+    open_entry_reader,
+    save_npz,
+    save_shards,
+    save_text,
+)
 from .operations import (
     factor_rows_product,
     sparse_gram_chain,
@@ -41,4 +53,9 @@ __all__ = [
     "save_npz",
     "load_shards",
     "save_shards",
+    "open_entry_reader",
+    "TextEntryReader",
+    "NpzEntryReader",
+    "TensorEntryReader",
+    "ShardEntryReader",
 ]

@@ -218,6 +218,18 @@ class SparseTensor:
             )
         return self._mode_sorted_cache[mode]
 
+    def clear_caches(self) -> None:
+        """Drop derived caches (the per-mode sort permutations).
+
+        A fully warmed cache holds one int64 permutation per mode —
+        O(order · nnz) bytes on top of the entries themselves.  Callers
+        that are done sorting, or that must keep peak memory bounded while
+        touching every mode in turn (:meth:`repro.shards.ShardStore.build`
+        clears between modes), can release it explicitly; the permutations
+        are recomputed on demand, bit-identically, by :meth:`sort_by_mode`.
+        """
+        self._mode_sorted_cache.clear()
+
     def mode_slice(self, mode: int, index: int) -> "SparseTensor":
         """Return the sub-tensor of entries whose ``mode`` index equals ``index``.
 

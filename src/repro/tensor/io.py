@@ -6,28 +6,480 @@ that format, auto-detects the tensor shape when one is not given, supports a
 simple ``.npz`` binary round-trip for faster test fixtures, and exports /
 imports the out-of-core shard-store format of :mod:`repro.shards`
 (:func:`save_shards` / :func:`load_shards`).
+
+Every input format is exposed through the chunked *entry reader* protocol:
+an object with a ``shape`` attribute (``None`` when not yet known) and an
+``iter_entry_chunks(chunk_nnz)`` method yielding ``(indices, values)`` array
+pairs of at most ``chunk_nnz`` entries, in file order.  Readers exist for
+text files (:class:`TextEntryReader` — vectorized parsing, bounded memory),
+``.npz`` archives (:class:`NpzEntryReader`), in-RAM tensors
+(:class:`TensorEntryReader`) and shard stores (:class:`ShardEntryReader`).
+The streaming shard-store builder
+(:meth:`repro.shards.ShardStore.build_streaming`) consumes any of them, so a
+raw text file can become an on-disk store — and then a fitted model —
+without the tensor ever existing in RAM.
+
+Text parsing is tiered for speed: a fully vectorized parser
+(:mod:`repro.tensor.textparse`) handles plain numeric blocks an order of
+magnitude faster than per-line Python, ``numpy.loadtxt`` covers blocks with
+comments or unusual formatting, and only a block that actually fails is
+re-scanned line by line to raise :class:`~repro.exceptions.DataFormatError`
+with the exact offending line number.  Files are read as UTF-8 (a leading
+BOM is skipped, and non-ASCII bytes in comments are tolerated).
 """
 
 from __future__ import annotations
 
+import codecs
 import os
-from typing import Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import DataFormatError
+from ..exceptions import DataFormatError, ShapeError
 from .coo import SparseTensor
+from .textparse import loadtxt_block, parse_numeric_block
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+EntryChunk = Tuple[np.ndarray, np.ndarray]
+
+#: Default entries per chunk yielded by ``iter_entry_chunks``.
+DEFAULT_CHUNK_NNZ = 500_000
+
+#: Default bytes per file read in :class:`TextEntryReader`.
+DEFAULT_CHUNK_BYTES = 1 << 24
+
+#: Entries per parsed block.  The vectorized parser keeps ~10 state
+#: vectors per entry alive at once; above ~128k entries they fall out of
+#: cache and the sweep turns memory-bound, so larger consumer chunks are
+#: assembled from several parses of this size.
+PARSE_BLOCK_NNZ = 131_072
 
 
 def save_text(tensor: SparseTensor, path: PathLike, one_based: bool = True) -> None:
     """Write a sparse tensor as ``i_1 ... i_N value`` lines."""
     offset = 1 if one_based else 0
-    with open(path, "w", encoding="ascii") as handle:
+    with open(path, "w", encoding="utf-8") as handle:
         for row, value in zip(tensor.indices, tensor.values):
             cols = " ".join(str(int(i) + offset) for i in row)
             handle.write(f"{cols} {value:.17g}\n")
+
+
+class TextEntryReader:
+    """Chunked, vectorized reader of ``i_1 ... i_N value`` text files.
+
+    Reads the file in fixed-size byte chunks (``chunk_bytes``), keeps the
+    trailing partial line as carry-over for the next chunk, and parses each
+    complete-line block through the tiers of :mod:`repro.tensor.textparse`.
+    Peak memory is bounded by the byte chunk plus one parsed block — never
+    by the file size.  Malformed input raises
+    :class:`~repro.exceptions.DataFormatError` naming ``path:line`` exactly
+    as the historical per-line parser did, including for lines that were
+    split across byte-chunk boundaries.
+
+    Parameters
+    ----------
+    path:
+        Text file to read.
+    shape:
+        Optional mode lengths; indices are then bounds-checked per chunk.
+        When omitted, ``shape`` stays ``None`` and consumers infer it.
+    one_based:
+        Subtract one from every index (the paper's file convention).
+    chunk_bytes:
+        Bytes per file read (floored at 16; the default is 16 MiB).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        shape: Optional[Sequence[int]] = None,
+        one_based: bool = True,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.shape: Optional[Tuple[int, ...]] = (
+            tuple(int(s) for s in shape) if shape is not None else None
+        )
+        self.one_based = bool(one_based)
+        self.chunk_bytes = max(int(chunk_bytes), 16)
+        self._order: Optional[int] = (
+            len(self.shape) if self.shape is not None else None
+        )
+
+    @property
+    def order(self) -> Optional[int]:
+        """Number of index columns (None until the first entry is seen)."""
+        return self._order
+
+    # ------------------------------------------------------------------
+    def iter_entry_chunks(
+        self, chunk_nnz: int = DEFAULT_CHUNK_NNZ
+    ) -> Iterator[EntryChunk]:
+        """Yield ``(indices, values)`` pairs of at most ``chunk_nnz`` entries."""
+        if chunk_nnz < 1:
+            raise ShapeError("chunk_nnz must be positive")
+        yield from _exact_chunks(self._iter_blocks(chunk_nnz), chunk_nnz)
+
+    def _read_size(self, target_nnz: int, bytes_per_entry: float) -> int:
+        """Bytes per file read: aims at ``target_nnz`` entries per block.
+
+        Capped by ``chunk_bytes`` and the file size (``read(n)``
+        preallocates an ``n``-byte buffer, which would charge every small
+        file a full ``chunk_bytes`` of peak memory), so the parser's
+        working set tracks the consumer's chunk size rather than the file.
+        """
+        size = int(min(target_nnz, PARSE_BLOCK_NNZ) * bytes_per_entry * 1.25)
+        try:
+            size = min(size, os.path.getsize(self.path))
+        except OSError:
+            pass
+        return max(16, min(self.chunk_bytes, size))
+
+    def _iter_blocks(self, target_nnz: int = 2**62) -> Iterator[EntryChunk]:
+        """Parse the file one byte chunk at a time (complete lines only)."""
+        carry = b""
+        lineno = 0
+        first = True
+        read_size = self._read_size(target_nnz, 16.0)  # ~16 B/entry guess
+        with open(self.path, "rb") as handle:
+            while True:
+                data = handle.read(read_size)
+                if not data:
+                    break
+                if first:
+                    data = data.removeprefix(codecs.BOM_UTF8)
+                    first = False
+                data = carry + data
+                cut = data.rfind(b"\n")
+                if cut < 0:
+                    carry = data
+                    continue
+                block, carry = data[: cut + 1], data[cut + 1 :]
+                parsed = self._parse_block(block, lineno)
+                yield parsed
+                lineno += block.count(b"\n")
+                if parsed[0].shape[0]:
+                    read_size = self._read_size(
+                        target_nnz, len(block) / parsed[0].shape[0]
+                    )
+        if carry:
+            yield self._parse_block(carry, lineno)
+
+    # ------------------------------------------------------------------
+    def _parse_block(self, block: bytes, lineno_base: int) -> EntryChunk:
+        """One complete-line block as validated ``(indices, values)`` arrays."""
+        if self._order is None:
+            self._order = _detect_order(block)
+            if self._order is None:  # no data lines in this block
+                return _empty_chunk(0)
+        ncols = self._order + 1
+        got = parse_numeric_block(block, ncols) if ncols >= 2 else None
+        if got is not None:
+            indices, values = got
+        else:
+            table = loadtxt_block(block)
+            if table is None:
+                return self._rescan(block, lineno_base)
+            if table.shape[0] == 0:
+                return _empty_chunk(self._order)
+            if table.shape[1] != ncols:
+                return self._rescan(block, lineno_base)
+            raw = table[:, :-1]
+            with np.errstate(invalid="ignore"):  # out-of-int64 floats
+                indices = raw.astype(np.int64)
+            if not np.array_equal(indices, raw):
+                return self._rescan(block, lineno_base)
+            values = np.ascontiguousarray(table[:, -1])
+        return self._finalize(indices, values, block, lineno_base)
+
+    def _finalize(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        block: bytes,
+        lineno_base: int,
+    ) -> EntryChunk:
+        """Apply the index base and bounds checks (re-scan on violation)."""
+        if self.one_based:
+            indices -= 1  # the parse tiers hand over a fresh array
+        if indices.size and int(indices.min()) < 0:
+            return self._rescan(block, lineno_base)
+        if self.shape is not None and indices.size:
+            bound = np.asarray(self.shape, dtype=np.int64)
+            if (indices >= bound[None, :]).any():
+                return self._rescan(block, lineno_base)
+        return indices, values
+
+    def _rescan(self, block: bytes, lineno_base: int) -> EntryChunk:
+        """Reference per-line parse of a failing block, for exact diagnostics.
+
+        Raises :class:`~repro.exceptions.DataFormatError` naming the first
+        offending line; if everything parses after all (e.g. the fast tiers
+        only stumbled over encoding), its result is used as-is.
+        """
+        text = block.decode("utf-8", errors="replace")
+        rows: List[List[int]] = []
+        values: List[float] = []
+        for offset, raw in enumerate(text.split("\n")):
+            lineno = lineno_base + offset + 1
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise DataFormatError(
+                    f"{self.path}:{lineno}: expected at least one index and "
+                    "a value"
+                )
+            if self._order is None:
+                self._order = len(parts) - 1
+            elif len(parts) - 1 != self._order:
+                raise DataFormatError(
+                    f"{self.path}:{lineno}: expected {self._order} indices, "
+                    f"got {len(parts) - 1}"
+                )
+            try:
+                idx = [_parse_index_token(p) for p in parts[:-1]]
+                val = float(parts[-1])
+            except ValueError as exc:
+                raise DataFormatError(f"{self.path}:{lineno}: {exc}") from exc
+            if self.one_based:
+                idx = [i - 1 for i in idx]
+            if any(i < 0 for i in idx):
+                raise DataFormatError(
+                    f"{self.path}:{lineno}: negative index after applying "
+                    "base offset"
+                )
+            if self.shape is not None and any(
+                i >= s for i, s in zip(idx, self.shape)
+            ):
+                raise DataFormatError(
+                    f"{self.path}:{lineno}: index exceeds shape {self.shape}"
+                )
+            rows.append(idx)
+            values.append(val)
+        if not rows:
+            return _empty_chunk(self._order or 0)
+        return (
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+        )
+
+
+def _parse_index_token(token: str) -> int:
+    """An index field as int64; integral floats ('3', '3.0', '3e2') accepted.
+
+    Raises ``ValueError`` (which callers wrap into a ``path:line``
+    :class:`~repro.exceptions.DataFormatError`) for non-integral and
+    out-of-int64-range tokens alike — a bare Python int would otherwise
+    surface later as an uninformative ``OverflowError`` from NumPy.
+    """
+    try:
+        result = int(token)
+    except ValueError:
+        value = float(token)  # ValueError propagates to the caller's wrapper
+        result = int(value)
+        if result != value:
+            raise ValueError(f"index {token!r} is not an integer") from None
+    if not -(2 ** 63) <= result < 2 ** 63:
+        raise ValueError(f"index {token!r} overflows 64-bit integers")
+    return result
+
+
+def _detect_order(block: bytes) -> Optional[int]:
+    """Index-column count of the first data line in ``block`` (None if none)."""
+    position = 0
+    while position < len(block):
+        newline = block.find(b"\n", position)
+        if newline < 0:
+            newline = len(block)
+        line = block[position:newline].split(b"#", 1)[0].strip()
+        if line:
+            return max(len(line.split()) - 1, 1)
+        position = newline + 1
+    return None
+
+
+def _empty_chunk(order: int) -> EntryChunk:
+    return (
+        np.empty((0, order), dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+    )
+
+
+def _exact_chunks(
+    blocks: Iterator[EntryChunk], chunk_nnz: int
+) -> Iterator[EntryChunk]:
+    """Regroup variable-size parsed blocks into exact ``chunk_nnz`` chunks.
+
+    The final chunk carries the remainder; empty blocks are dropped.  The
+    regrouping is deterministic, so a fixed ``chunk_nnz`` always produces
+    the same chunk boundaries for the same input.
+    """
+    pending: List[EntryChunk] = []
+    count = 0
+    for indices, values in blocks:
+        if indices.shape[0] == 0:
+            continue
+        pending.append((indices, values))
+        count += indices.shape[0]
+        if count < chunk_nnz:
+            continue
+        whole_idx = (
+            np.concatenate([i for i, _ in pending])
+            if len(pending) > 1
+            else pending[0][0]
+        )
+        whole_val = (
+            np.concatenate([v for _, v in pending])
+            if len(pending) > 1
+            else pending[0][1]
+        )
+        full = (count // chunk_nnz) * chunk_nnz
+        for start in range(0, full, chunk_nnz):
+            yield (
+                whole_idx[start : start + chunk_nnz],
+                whole_val[start : start + chunk_nnz],
+            )
+        pending = []
+        count -= full
+        if count:
+            pending = [(whole_idx[full:], whole_val[full:])]
+    if count:
+        yield (
+            np.concatenate([i for i, _ in pending])
+            if len(pending) > 1
+            else pending[0][0],
+            np.concatenate([v for _, v in pending])
+            if len(pending) > 1
+            else pending[0][1],
+        )
+
+
+class NpzEntryReader:
+    """Chunked reader over a ``.npz`` archive written by :func:`save_npz`.
+
+    The archive's arrays are decompressed whole (that is how ``.npz``
+    works), so this reader bounds the *downstream* working set — the
+    chunks handed to a streaming consumer — rather than the decompression
+    buffer itself.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = os.fspath(path)
+        with np.load(self.path) as data:
+            missing = {"indices", "values", "shape"} - set(data.files)
+            if missing:
+                raise DataFormatError(
+                    f"{self.path}: missing arrays {sorted(missing)}"
+                )
+            self.shape: Tuple[int, ...] = tuple(
+                int(s) for s in data["shape"]
+            )
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes."""
+        return len(self.shape)
+
+    def iter_entry_chunks(
+        self, chunk_nnz: int = DEFAULT_CHUNK_NNZ
+    ) -> Iterator[EntryChunk]:
+        """Yield ``(indices, values)`` pairs of at most ``chunk_nnz`` entries."""
+        if chunk_nnz < 1:
+            raise ShapeError("chunk_nnz must be positive")
+        with np.load(self.path) as data:
+            indices = np.asarray(data["indices"], dtype=np.int64)
+            values = np.asarray(data["values"], dtype=np.float64)
+            if indices.ndim != 2 or values.shape != (indices.shape[0],):
+                raise DataFormatError(
+                    f"{self.path}: indices/values arrays are inconsistent"
+                )
+            for start in range(0, indices.shape[0], chunk_nnz):
+                stop = start + chunk_nnz
+                yield indices[start:stop], values[start:stop]
+
+
+class TensorEntryReader:
+    """Chunked reader over an in-RAM :class:`SparseTensor` (entry order)."""
+
+    def __init__(self, tensor: SparseTensor) -> None:
+        self.tensor = tensor
+        self.shape: Tuple[int, ...] = tensor.shape
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes."""
+        return self.tensor.order
+
+    def iter_entry_chunks(
+        self, chunk_nnz: int = DEFAULT_CHUNK_NNZ
+    ) -> Iterator[EntryChunk]:
+        """Yield ``(indices, values)`` pairs of at most ``chunk_nnz`` entries."""
+        if chunk_nnz < 1:
+            raise ShapeError("chunk_nnz must be positive")
+        tensor = self.tensor
+        for start in range(0, tensor.nnz, chunk_nnz):
+            stop = start + chunk_nnz
+            yield (
+                np.ascontiguousarray(tensor.indices[start:stop], dtype=np.int64),
+                np.ascontiguousarray(tensor.values[start:stop], dtype=np.float64),
+            )
+
+
+class ShardEntryReader:
+    """Chunked reader over an existing shard store (canonical entry order).
+
+    Streams the store's mode-0 sorted sequence through the entry-chunk
+    protocol, so a store can be re-sharded (different ``shard_nnz``) or
+    re-exported without materialising the tensor.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        from ..shards import ShardStore
+
+        self._store = ShardStore.open(os.fspath(directory))
+        self.shape: Tuple[int, ...] = self._store.shape
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes."""
+        return len(self.shape)
+
+    def iter_entry_chunks(
+        self, chunk_nnz: int = DEFAULT_CHUNK_NNZ
+    ) -> Iterator[EntryChunk]:
+        """Yield ``(indices, values)`` pairs of at most ``chunk_nnz`` entries."""
+        if chunk_nnz < 1:
+            raise ShapeError("chunk_nnz must be positive")
+        for start in range(0, self._store.nnz, chunk_nnz):
+            stop = min(start + chunk_nnz, self._store.nnz)
+            yield self._store.read_mode_block(0, start, stop)
+
+
+def open_entry_reader(
+    path: PathLike,
+    shape: Optional[Sequence[int]] = None,
+    one_based: bool = True,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Union[TextEntryReader, NpzEntryReader, ShardEntryReader]:
+    """Open ``path`` with the matching chunked reader.
+
+    A directory is opened as a shard store, a ``.npz`` file as an archive,
+    anything else as text.  ``shape``/``one_based``/``chunk_bytes`` apply
+    to the text reader only (the binary formats carry their own shape and
+    base).
+    """
+    fs_path = os.fspath(path)
+    if os.path.isdir(fs_path):
+        return ShardEntryReader(fs_path)
+    if fs_path.endswith(".npz"):
+        return NpzEntryReader(fs_path)
+    return TextEntryReader(
+        fs_path, shape=shape, one_based=one_based, chunk_bytes=chunk_bytes
+    )
 
 
 def load_text(
@@ -39,49 +491,26 @@ def load_text(
 
     When ``shape`` is omitted it is inferred as the per-mode maximum index
     plus one.  Malformed lines raise :class:`~repro.exceptions.DataFormatError`
-    with the offending line number.
+    with the offending line number.  Parsing is vectorized (see
+    :class:`TextEntryReader`); the loaded entries are identical to the
+    historical per-line parser's, bit for bit.
     """
-    indices = []
-    values = []
-    order: Optional[int] = None
-    with open(path, "r", encoding="ascii") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            text = line.strip()
-            if not text or text.startswith("#"):
-                continue
-            parts = text.split()
-            if len(parts) < 2:
-                raise DataFormatError(
-                    f"{path}:{lineno}: expected at least one index and a value"
-                )
-            if order is None:
-                order = len(parts) - 1
-            elif len(parts) - 1 != order:
-                raise DataFormatError(
-                    f"{path}:{lineno}: expected {order} indices, got {len(parts) - 1}"
-                )
-            try:
-                idx = [int(p) for p in parts[:-1]]
-                val = float(parts[-1])
-            except ValueError as exc:
-                raise DataFormatError(f"{path}:{lineno}: {exc}") from exc
-            if one_based:
-                idx = [i - 1 for i in idx]
-            if any(i < 0 for i in idx):
-                raise DataFormatError(
-                    f"{path}:{lineno}: negative index after applying base offset"
-                )
-            indices.append(idx)
-            values.append(val)
-
-    if order is None:
+    reader = TextEntryReader(path, shape=shape, one_based=one_based)
+    chunks = list(reader.iter_entry_chunks(DEFAULT_CHUNK_NNZ))
+    if not chunks:
         raise DataFormatError(f"{path}: file contains no tensor entries")
-
-    index_array = np.asarray(indices, dtype=np.int64)
-    value_array = np.asarray(values, dtype=np.float64)
+    indices = (
+        np.concatenate([i for i, _ in chunks]) if len(chunks) > 1 else chunks[0][0]
+    )
+    values = (
+        np.concatenate([v for _, v in chunks]) if len(chunks) > 1 else chunks[0][1]
+    )
     if shape is None:
-        shape = tuple(int(m) + 1 for m in index_array.max(axis=0))
-    return SparseTensor(index_array, value_array, shape)
+        # Per-column maxes beat one axis-0 reduction by ~7x on (nnz, N).
+        shape = tuple(
+            int(indices[:, mode].max()) + 1 for mode in range(indices.shape[1])
+        )
+    return SparseTensor(indices, values, shape)
 
 
 def save_npz(tensor: SparseTensor, path: PathLike) -> None:
@@ -103,16 +532,34 @@ def load_npz(path: PathLike) -> SparseTensor:
         return SparseTensor(data["indices"], data["values"], tuple(data["shape"]))
 
 
-def save_shards(tensor: SparseTensor, directory: PathLike, shard_nnz: int = 1_000_000):
-    """Export ``tensor`` as a mode-sorted shard store at ``directory``.
+def save_shards(
+    tensor: Optional[SparseTensor],
+    directory: PathLike,
+    shard_nnz: int = 1_000_000,
+    *,
+    source=None,
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+):
+    """Export a tensor (or a streamed entry source) as a shard store.
 
     Writes the memory-mapped COO shard layout of
     :class:`~repro.shards.store.ShardStore` (per-mode ``.npy`` index/value
-    blocks plus a JSON manifest) and returns the built store, ready for
-    out-of-core sweeps.
+    blocks plus a JSON manifest) at ``directory`` and returns the built
+    store, ready for out-of-core sweeps.  Exactly one input must be given:
+    ``tensor`` (in-RAM build) or ``source`` (a chunked entry reader — the
+    store is then built with the external-memory merge of
+    :mod:`repro.shards.merge`, reading at most ``chunk_nnz`` entries at a
+    time, and is bitwise-identical to the in-RAM build of the same
+    entries).
     """
     from ..shards import ShardStore
 
+    if (tensor is None) == (source is None):
+        raise ShapeError("pass exactly one of tensor or source to save_shards")
+    if source is not None:
+        return ShardStore.build_streaming(
+            source, os.fspath(directory), shard_nnz=shard_nnz, chunk_nnz=chunk_nnz
+        )
     return ShardStore.build(tensor, os.fspath(directory), shard_nnz=shard_nnz)
 
 

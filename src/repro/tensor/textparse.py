@@ -1,0 +1,384 @@
+"""Vectorized parsing of ``i_1 ... i_N value`` text blocks.
+
+This module is the fast path of :class:`~repro.tensor.io.TextEntryReader`.
+It parses a byte block of whitespace-separated lines without any per-line
+Python, in two tiers:
+
+* :func:`parse_numeric_block` — the *turbo* tier.  The block is tokenised
+  with NumPy boolean masks over the raw ``uint8`` buffer and the token
+  columns are decoded by a column-sweep state machine: one pass per
+  character column, each pass a handful of ufunc operations on length-``n``
+  vectors (so short tokens — the common case for index columns and
+  low-precision values — cost proportionally less).  Values are decoded
+  exactly: mantissa and exponent digits accumulate as integers; values
+  whose mantissa fits 15 digits with a small decimal exponent (ratings,
+  counts, measurements) finish with one exact float64 multiply or divide,
+  and the rest are reconstructed in 80-bit ``longdouble`` with a rounding
+  guard that sends the (astronomically rare) tokens landing too close to a
+  double-rounding boundary to Python's correctly-rounded ``float()`` one
+  token at a time.  Every parsed value is therefore bit-for-bit identical
+  to ``float(token)``.  Anything structurally unusual (comments, tokens
+  over the width caps, non-digit index fields, several entries on one
+  line) makes the function return ``None`` instead of guessing.
+* :func:`loadtxt_block` — the robust tier, a thin wrapper over
+  ``numpy.loadtxt`` (its C tokenizer), used when the turbo tier declines.
+
+Neither tier produces diagnostics; callers that need exact ``file:line``
+error messages re-scan the offending block per line
+(:class:`~repro.tensor.io.TextEntryReader` does exactly that).
+"""
+
+from __future__ import annotations
+
+import io
+import warnings
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Widest accepted index token (digits only; int64 holds 18 nines).
+MAX_INDEX_DIGITS = 18
+
+#: Widest value token decoded by the column sweep; longer tokens (junk or
+#: extreme decimals) fall back per token.
+MAX_VALUE_WIDTH = 32
+
+#: Whitespace bytes: space, newline, tab, carriage return.
+_WS_LUT = np.zeros(256, dtype=bool)
+_WS_LUT[[32, 10, 9, 13]] = True
+
+#: Exact float64 powers of ten (10**k is representable for k <= 22).
+_F64_P10 = 10.0 ** np.arange(23)
+
+#: Longdouble powers of ten, 10**-310 .. 10**310.  On x86 the longdouble
+#: carries a 64-bit mantissa, so ``mantissa * _LD_P10[e + 310]`` has at
+#: most ~1 ulp (relative 2**-63) of error — far inside the guard band
+#: checked below.
+_LD_P10 = np.longdouble(10.0) ** np.arange(-310, 311).astype(np.longdouble)
+
+#: The rounding guard's error analysis needs longdouble to genuinely carry
+#: more mantissa bits than float64; where it is a plain double (Windows
+#: MSVC, macOS arm64) the guard would measure zero error and miss
+#: misrounded values, so every hard token goes straight to ``float()``.
+_LONGDOUBLE_USABLE = np.finfo(np.longdouble).nmant >= 63
+
+
+def _token_bounds(buf: np.ndarray) -> Tuple[np.ndarray, np.ndarray, bool]:
+    """Start/end offsets of whitespace-separated tokens in a uint8 buffer.
+
+    The third element reports the *canonical* layout: every whitespace byte
+    is a single-byte separator (no doubled spaces, no CRLF, no blank
+    lines), in which case separator positions alone define the tokens and
+    later row checks may read the separator bytes directly.  Otherwise
+    tokens are recovered from the transitions of the whitespace mask.
+    """
+    if buf.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, False
+    ws = _WS_LUT[buf]
+    ws_positions = np.flatnonzero(ws)
+    if (
+        ws_positions.size
+        and not ws[0]
+        and bool((ws_positions[1:] - ws_positions[:-1] > 1).all())
+    ):
+        if int(ws_positions[-1]) == buf.size - 1:
+            ends = ws_positions
+            starts = np.empty_like(ws_positions)
+            starts[0] = 0
+            starts[1:] = ws_positions[:-1] + 1
+        else:  # a trailing token without a final newline
+            count = ws_positions.size
+            ends = np.empty(count + 1, dtype=np.int64)
+            ends[:count] = ws_positions
+            ends[count] = buf.size
+            starts = np.empty(count + 1, dtype=np.int64)
+            starts[0] = 0
+            starts[1:] = ws_positions + 1
+        return starts, ends, True
+    transitions = np.flatnonzero(ws[:-1] != ws[1:]) + 1
+    if not ws[0]:
+        transitions = np.concatenate(([0], transitions))
+    if not ws[-1]:
+        transitions = np.concatenate((transitions, [buf.size]))
+    return transitions[0::2], transitions[1::2], False
+
+
+def _rows_match_lines(
+    buf: np.ndarray,
+    ts: np.ndarray,
+    te: np.ndarray,
+    canonical: bool,
+) -> bool:
+    """True when every reshaped row occupies exactly one input line.
+
+    Guards the flat token stream against silently regrouping files whose
+    lines do not all hold the same number of fields (one long line would
+    otherwise be split into several entries).
+    """
+    n = ts.shape[0]
+    if canonical:
+        # Single-byte separators: the byte at each token end IS the whole
+        # gap, so no newline can hide anywhere else.  Rows then sit on
+        # distinct lines exactly when every within-row separator is a
+        # space/tab and every row-final one a newline (or a lone CR, which
+        # universal-newline semantics also treat as a line break).
+        separators = buf[np.minimum(te.ravel(), buf.size - 1)].reshape(te.shape)
+        if int(te[-1, -1]) == buf.size:  # EOF ends the last row
+            separators[-1, -1] = 10
+        intra = separators[:, :-1]
+        final = separators[:, -1]
+        return bool(
+            ((intra == 32) | (intra == 9)).all()
+            and ((final == 10) | (final == 13)).all()
+        )
+    # Exact check: compare the line id of each row's first and last byte.
+    newlines = np.flatnonzero(buf == 10)
+    line_first = np.searchsorted(newlines, ts[:, 0])
+    line_last = np.searchsorted(newlines, te[:, -1] - 1)
+    if (line_first != line_last).any():
+        return False
+    return n < 2 or bool((line_first[1:] > line_first[:-1]).all())
+
+
+def _decode_int_columns(
+    padded: np.ndarray, starts: np.ndarray, lens: np.ndarray
+) -> Optional[np.ndarray]:
+    """Digit-only tokens as int64 (None when any token is not plain digits).
+
+    ``padded`` is the input buffer with trailing pad bytes so column reads
+    never run off the end.  One Horner pass per character column keeps all
+    intermediates at token-count length.
+    """
+    width = int(lens.max())
+    if width > MAX_INDEX_DIGITS:
+        return None
+    out = np.zeros(starts.size, dtype=np.int64)
+    # Group tokens by length: within a group every column is live, so the
+    # Horner update needs no masks and no ``where`` blends.  Up to 9
+    # digits the accumulator fits uint32, halving the memory traffic.
+    for length in range(1, width + 1):
+        group = np.flatnonzero(lens == length)
+        if group.size == 0:
+            continue
+        first = starts[group]
+        acc_dtype = np.uint32 if length <= 9 else np.int64
+        acc = np.zeros(group.size, dtype=acc_dtype)
+        for column in range(length):
+            term = padded[first + column] - np.uint8(48)
+            if (term > 9).any():  # uint8 wraps non-digits far above 9
+                return None
+            acc = acc * acc_dtype(10) + term
+        out[group] = acc
+    return out
+
+
+def _decode_value_column(
+    block: bytes,
+    padded: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Value tokens as float64, each bit-identical to ``float(token)``.
+
+    Returns ``None`` when some token is not parseable as a float at all
+    (the caller then reports the error through the diagnostic tier).
+    """
+    n = starts.size
+    lens = ends - starts
+    width = min(int(lens.max()), MAX_VALUE_WIDTH)
+
+    mant = np.zeros(n, np.int64)  # mantissa digits, as integer
+    expv = np.zeros(n, np.int64)  # explicit exponent digits, as integer
+    e_col = np.full(n, MAX_VALUE_WIDTH + 1, np.int64)  # column of 'e'
+    dot_col = np.full(n, MAX_VALUE_WIDTH + 1, np.int64)  # column of '.'
+    seen_dot = np.zeros(n, bool)
+    seen_e = np.zeros(n, bool)
+    exp_neg = np.zeros(n, bool)
+    exp_signed = np.zeros(n, bool)
+    overflowed = np.zeros(n, bool)
+    bad = lens > MAX_VALUE_WIDTH
+    prev_was_e = np.zeros(n, bool)
+
+    # int64 wraps at 19 accumulated digits; flag mantissas that might.
+    mant_limit = (2 ** 63 - 10) // 10
+
+    position = starts.astype(np.int64)
+    for column in range(width):
+        ch = padded[position]
+        term = ch - np.uint8(48)
+        active = lens > column
+        is_digit = (term < 10) & active
+
+        in_mant = is_digit & ~seen_e
+        overflowed |= in_mant & (mant > mant_limit)
+        mant = np.where(in_mant, mant * 10 + term, mant)
+
+        if seen_e.any():
+            in_exp = is_digit & seen_e
+            expv = np.where(in_exp, expv * 10 + term, expv)
+
+        other = active & ~is_digit
+        if other.any():
+            is_dot = (ch == 46) & other
+            bad |= is_dot & (seen_dot | seen_e)
+            seen_dot |= is_dot
+            dot_col = np.where(is_dot, column, dot_col)
+            is_e = ((ch == 101) | (ch == 69)) & other
+            bad |= is_e & seen_e
+            seen_e |= is_e
+            e_col = np.where(is_e, column, e_col)
+            is_minus = (ch == 45) & other
+            is_sign = ((ch == 43) & other) | is_minus
+            if column > 0:  # a leading sign is always legal
+                bad |= is_sign & ~prev_was_e
+                exp_neg |= is_minus & prev_was_e
+                exp_signed |= is_sign & prev_was_e
+            bad |= other & ~(is_dot | is_e | is_sign)
+            prev_was_e = is_e
+        elif prev_was_e.any():
+            prev_was_e = np.zeros(n, bool)
+        position += 1
+
+    # Pure unsigned integers (counts — a very common regime): the mantissa
+    # integer IS the value, and int64 -> float64 conversion rounds to
+    # nearest exactly like ``float(token)`` does on an integer literal.
+    if not (bad.any() or overflowed.any() or seen_dot.any() or seen_e.any()):
+        first_ch = padded[starts]
+        if not ((first_ch == 43) | (first_ch == 45)).any():
+            return mant.astype(np.float64)
+
+    # Structure checks from the recorded offsets (no per-column counters).
+    first_ch = padded[starts]
+    negative = first_ch == 45
+    lead_sign = (negative | (first_ch == 43)).astype(np.int64)
+    mant_end = np.minimum(e_col, lens)
+    mant_digits = mant_end - lead_sign - seen_dot
+    bad |= mant_digits <= 0
+    frac = np.where(seen_dot, mant_end - dot_col - 1, 0)
+    exp_digits = np.where(seen_e, lens - e_col - 1 - exp_signed, 0)
+    bad |= seen_e & (exp_digits <= 0)
+    bad |= exp_digits > 17  # expv itself may have wrapped past that
+    bad |= overflowed
+    expv = np.where(exp_neg, -expv, expv)
+
+    decimal_exp = expv - frac
+    zero = (mant == 0) & ~bad
+    sign = np.where(negative, -1.0, 1.0)
+
+    # Exact fast path: a mantissa below 2**53 and |E| <= 22 are both
+    # exactly representable in float64, so one multiply / divide rounds
+    # correctly (the classic strtod shortcut).
+    mant_f = mant.astype(np.float64) * sign
+    small = np.clip(decimal_exp, -22, 22)
+    with np.errstate(over="ignore", invalid="ignore"):
+        values = np.where(
+            small >= 0,
+            mant_f * _F64_P10[np.maximum(small, 0)],
+            mant_f / _F64_P10[np.maximum(-small, 0)],
+        )
+    easy = (
+        ~bad
+        & (mant < 2 ** 53)
+        & (decimal_exp >= -22)
+        & (decimal_exp <= 22)
+    )
+
+    hard = np.flatnonzero(~easy)
+    if hard.size:
+        h_exp = decimal_exp[hard]
+        h_bad = bad[hard]
+        h_zero = zero[hard]
+        h_bad |= ((h_exp < -290) | (h_exp > 290)) & ~h_zero
+        with np.errstate(over="ignore", invalid="ignore"):
+            value_ld = mant[hard].astype(np.longdouble) * _LD_P10[
+                np.clip(h_exp, -310, 310) + 310
+            ]
+            value_ld = value_ld * sign[hard].astype(np.longdouble)
+            h_values = value_ld.astype(np.float64)
+            # Rounding guard: when the longdouble value sits within its own
+            # error bound of a float64 rounding boundary, this path cannot
+            # prove the rounding went the right way — re-parse those exactly.
+            ulp = np.spacing(np.abs(h_values))
+            err = np.abs(value_ld - h_values.astype(np.longdouble)).astype(
+                np.float64
+            )
+            unsafe = np.abs(err - 0.5 * ulp) < np.abs(h_values) * 2.0 ** -58
+            subnormalish = (np.abs(h_values) < 1e-280) & ~h_zero
+            h_fallback = h_bad | unsafe | subnormalish | ~np.isfinite(h_values)
+            if not _LONGDOUBLE_USABLE:
+                h_fallback = np.ones_like(h_fallback)
+        values[hard] = h_values
+        if h_fallback.any():
+            for i in hard[np.flatnonzero(h_fallback)]:
+                try:
+                    values[i] = float(block[starts[i] : ends[i]])
+                except ValueError:
+                    return None
+    return values
+
+
+def parse_numeric_block(
+    block: bytes, n_columns: int
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Parse a plain numeric block into ``(indices, values)`` arrays.
+
+    ``block`` must hold complete lines of exactly ``n_columns``
+    whitespace-separated fields each: ``n_columns - 1`` non-negative integer
+    indices and one float value.  Returns ``None`` whenever the block does
+    not visibly match that shape — comment characters anywhere, a token
+    count that does not divide evenly, several entries sharing a line, sign
+    or dot characters in an index field — leaving such blocks to the
+    slower, more forgiving tiers.  Numerical results are exact: indices are
+    decoded with integer arithmetic and values match ``float(token)``
+    bit for bit.
+    """
+    if n_columns < 2 or block.find(b"#") >= 0:
+        return None
+    buf = np.frombuffer(block, np.uint8)
+    starts, ends, canonical = _token_bounds(buf)
+    if starts.size == 0 or starts.size % n_columns:
+        return None
+    n = starts.size // n_columns
+    ts = starts.reshape(n, n_columns)
+    te = ends.reshape(n, n_columns)
+    if not _rows_match_lines(buf, ts, te, canonical):
+        return None
+
+    # Pad the tail so column reads at ``start + c`` never run off the end.
+    padded = np.empty(buf.size + MAX_VALUE_WIDTH, dtype=np.uint8)
+    padded[: buf.size] = buf
+    padded[buf.size :] = 32
+
+    lens = (ends - starts).reshape(n, n_columns)  # contiguous subtract
+    int_starts = ts[:, :-1].ravel()
+    int_lens = lens[:, :-1].ravel()
+    indices = _decode_int_columns(padded, int_starts, int_lens)
+    if indices is None:
+        return None
+    values = _decode_value_column(block, padded, ts[:, -1], te[:, -1])
+    if values is None:
+        return None
+    return indices.reshape(n, n_columns - 1), values
+
+
+def loadtxt_block(block: bytes) -> Optional[np.ndarray]:
+    """Parse a block with ``numpy.loadtxt`` into an ``(n, cols)`` float table.
+
+    Handles comments (whole-line and inline ``#``), blank lines and ragged
+    whitespace.  Returns ``None`` when the tokenizer rejects the block or
+    cannot decode it as UTF-8 — callers then re-scan per line for an exact
+    diagnostic.  An all-comment block yields an empty table.
+    """
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # "input contained no data"
+            return np.loadtxt(
+                io.BytesIO(block),
+                dtype=np.float64,
+                comments="#",
+                ndmin=2,
+                encoding="utf-8",
+            )
+    except (ValueError, UnicodeDecodeError):
+        return None

@@ -47,8 +47,16 @@ def test_relative_links_resolve(doc):
 def test_readme_documents_the_cli_flags():
     """The CLI reference table keeps up with the parser's flags."""
     text = README.read_text(encoding="utf-8")
-    for flag in ("--backend", "--shards", "--shard-nnz", "--ranks"):
+    for flag in (
+        "--backend",
+        "--shards",
+        "--shard-nnz",
+        "--ranks",
+        "--from-text",
+        "--chunk-nnz",
+    ):
         assert flag in text, f"README CLI table is missing {flag}"
+    assert "ingest" in text, "README CLI table is missing the ingest command"
 
 
 @pytest.mark.parametrize(
@@ -57,6 +65,9 @@ def test_readme_documents_the_cli_flags():
         ("repro.shards", ("ShardStore", "ShardedSweepExecutor", "manifest")),
         ("repro.shards.store", ("read_mode_block", "mode_segmentation")),
         ("repro.shards.executor", ("bitwise", "fit")),
+        ("repro.shards.merge", ("streaming_build", "k-way", "bitwise")),
+        ("repro.tensor.io", ("iter_entry_chunks", "TextEntryReader")),
+        ("repro.tensor.textparse", ("parse_numeric_block", "float(token)")),
         ("repro.kernels.backends", ("KernelBackend", "resolve_backend", "auto")),
         ("repro.kernels.backends.base", ("make_normal_equations_kernel",)),
     ],

@@ -1,0 +1,264 @@
+"""External-memory shard builds: bitwise identity with the in-RAM build."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import PTucker, PTuckerConfig
+from repro.exceptions import DataFormatError, ShapeError
+from repro.shards import ShardStore
+from repro.tensor import SparseTensor, load_shards, save_shards, save_text
+from repro.tensor.io import TensorEntryReader, TextEntryReader
+
+
+def random_tensor(order, nnz, seed, dim=24):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(s) for s in rng.integers(dim // 2, dim, order))
+    indices = np.stack(
+        [rng.integers(0, s, nnz) for s in shape], axis=1
+    ).astype(np.int64)
+    values = rng.standard_normal(nnz)
+    return SparseTensor(indices, values, shape)
+
+
+def directory_files(root):
+    return sorted(
+        os.path.relpath(os.path.join(dirpath, name), root)
+        for dirpath, _, names in os.walk(root)
+        for name in names
+    )
+
+
+def assert_directories_identical(left, right):
+    left_files = directory_files(left)
+    assert left_files == directory_files(right)
+    assert left_files, "comparison would be vacuous"
+    for relative in left_files:
+        with open(os.path.join(left, relative), "rb") as handle:
+            left_bytes = handle.read()
+        with open(os.path.join(right, relative), "rb") as handle:
+            right_bytes = handle.read()
+        assert left_bytes == right_bytes, f"{relative} differs"
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("order", [3, 4, 5])
+    def test_orders(self, order, tmp_path):
+        tensor = random_tensor(order, 2_000, seed=order)
+        in_ram = str(tmp_path / "in_ram")
+        streamed = str(tmp_path / "streamed")
+        ShardStore.build(tensor, in_ram, shard_nnz=700)
+        ShardStore.build_streaming(
+            TensorEntryReader(tensor), streamed, shard_nnz=700, chunk_nnz=333
+        )
+        assert_directories_identical(in_ram, streamed)
+
+    @pytest.mark.parametrize(
+        "shard_nnz,chunk_nnz",
+        [(1, 1), (13, 7), (100, 1000), (1000, 100), (257, 61), (5000, 5000)],
+    )
+    def test_ragged_shard_and_chunk_sizes(self, shard_nnz, chunk_nnz, tmp_path):
+        tensor = random_tensor(3, 1_200, seed=17)
+        in_ram = str(tmp_path / "in_ram")
+        streamed = str(tmp_path / "streamed")
+        ShardStore.build(tensor, in_ram, shard_nnz=shard_nnz)
+        ShardStore.build_streaming(
+            TensorEntryReader(tensor),
+            streamed,
+            shard_nnz=shard_nnz,
+            chunk_nnz=chunk_nnz,
+        )
+        assert_directories_identical(in_ram, streamed)
+
+    def test_from_text_file(self, tmp_path):
+        tensor = random_tensor(3, 900, seed=3)
+        path = tmp_path / "t.tns"
+        save_text(tensor, path)
+        in_ram = str(tmp_path / "in_ram")
+        streamed = str(tmp_path / "streamed")
+        ShardStore.build(tensor, in_ram, shard_nnz=250)
+        store = ShardStore.build_streaming(
+            TextEntryReader(path), streamed, shard_nnz=250, chunk_nnz=123
+        )
+        assert_directories_identical(in_ram, streamed)
+        # The fingerprint matches the original tensor, so for_tensor reuses it.
+        assert store.matches(tensor)
+
+    def test_duplicate_and_skewed_rows(self, tmp_path):
+        """Ties everywhere: one dominant row id exercises stable merging."""
+        rng = np.random.default_rng(11)
+        nnz = 800
+        indices = np.stack(
+            [
+                np.where(rng.random(nnz) < 0.7, 2, rng.integers(0, 6, nnz)),
+                rng.integers(0, 4, nnz),
+                rng.integers(0, 5, nnz),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        tensor = SparseTensor(indices, rng.standard_normal(nnz), (6, 4, 5))
+        in_ram = str(tmp_path / "in_ram")
+        streamed = str(tmp_path / "streamed")
+        ShardStore.build(tensor, in_ram, shard_nnz=97)
+        ShardStore.build_streaming(
+            TensorEntryReader(tensor), streamed, shard_nnz=97, chunk_nnz=53
+        )
+        assert_directories_identical(in_ram, streamed)
+
+    def test_single_entry_and_empty(self, tmp_path):
+        single = SparseTensor(
+            np.asarray([[0, 1, 2]]), np.asarray([3.5]), (2, 3, 4)
+        )
+        empty = SparseTensor(
+            np.empty((0, 3), dtype=np.int64), np.empty(0), (2, 3, 4)
+        )
+        for name, tensor in (("single", single), ("empty", empty)):
+            in_ram = str(tmp_path / f"{name}_in_ram")
+            streamed = str(tmp_path / f"{name}_streamed")
+            ShardStore.build(tensor, in_ram, shard_nnz=1)
+            ShardStore.build_streaming(
+                TensorEntryReader(tensor), streamed, shard_nnz=1, chunk_nnz=1
+            )
+            assert_directories_identical(in_ram, streamed)
+
+    def test_cascaded_merge_matches_flat_merge(self, tmp_path, monkeypatch):
+        """Many tiny runs force the fd-bounded cascade; output is identical."""
+        import repro.shards.merge as merge_module
+
+        monkeypatch.setattr(merge_module, "MAX_OPEN_RUNS", 3)
+        tensor = random_tensor(3, 1_500, seed=41)
+        in_ram = str(tmp_path / "in_ram")
+        streamed = str(tmp_path / "streamed")
+        ShardStore.build(tensor, in_ram, shard_nnz=400)
+        # chunk_nnz=60 -> 25 runs per mode -> two cascade passes at fan-in 3.
+        ShardStore.build_streaming(
+            TensorEntryReader(tensor), streamed, shard_nnz=400, chunk_nnz=60
+        )
+        assert_directories_identical(in_ram, streamed)
+
+    @pytest.mark.slow
+    def test_large_disk_heavy_build(self, tmp_path):
+        tensor = random_tensor(4, 60_000, seed=99, dim=64)
+        in_ram = str(tmp_path / "in_ram")
+        streamed = str(tmp_path / "streamed")
+        ShardStore.build(tensor, in_ram, shard_nnz=7_000)
+        ShardStore.build_streaming(
+            TensorEntryReader(tensor),
+            streamed,
+            shard_nnz=7_000,
+            chunk_nnz=4_111,
+        )
+        assert_directories_identical(in_ram, streamed)
+
+
+class TestStreamingBuildBehaviour:
+    def test_scratch_directory_removed(self, random_small, tmp_path):
+        target = tmp_path / "store"
+        ShardStore.build_streaming(TensorEntryReader(random_small), str(target))
+        assert not (target / ".ingest-tmp").exists()
+
+    def test_store_is_usable_and_validates(self, random_small, tmp_path):
+        store = ShardStore.build_streaming(
+            TensorEntryReader(random_small), str(tmp_path / "s"), shard_nnz=100
+        )
+        store.validate()
+        roundtrip = load_shards(tmp_path / "s")
+        assert roundtrip.allclose(random_small)
+
+    def test_empty_source_without_shape_raises(self, tmp_path):
+        class EmptySource:
+            shape = None
+
+            def iter_entry_chunks(self, chunk_nnz):
+                return iter(())
+
+        with pytest.raises(DataFormatError):
+            ShardStore.build_streaming(EmptySource(), str(tmp_path / "s"))
+
+    def test_out_of_bounds_source_raises(self, tmp_path):
+        tensor = SparseTensor(np.asarray([[5, 0]]), np.asarray([1.0]), (6, 2))
+        with pytest.raises(ShapeError):
+            ShardStore.build_streaming(
+                TensorEntryReader(tensor), str(tmp_path / "s"), shape=(3, 2)
+            )
+
+    def test_invalid_sizes_raise(self, random_small, tmp_path):
+        reader = TensorEntryReader(random_small)
+        with pytest.raises(ShapeError):
+            ShardStore.build_streaming(reader, str(tmp_path / "s"), shard_nnz=0)
+        with pytest.raises(ShapeError):
+            ShardStore.build_streaming(reader, str(tmp_path / "s"), chunk_nnz=0)
+
+    def test_save_shards_source_keyword(self, random_small, tmp_path):
+        in_ram = str(tmp_path / "in_ram")
+        streamed = str(tmp_path / "streamed")
+        save_shards(random_small, in_ram, shard_nnz=150)
+        save_shards(
+            None,
+            streamed,
+            shard_nnz=150,
+            source=TensorEntryReader(random_small),
+            chunk_nnz=77,
+        )
+        assert_directories_identical(in_ram, streamed)
+
+    def test_save_shards_requires_exactly_one_input(self, random_small, tmp_path):
+        with pytest.raises(ShapeError):
+            save_shards(None, str(tmp_path / "s"))
+        with pytest.raises(ShapeError):
+            save_shards(
+                random_small,
+                str(tmp_path / "s"),
+                source=TensorEntryReader(random_small),
+            )
+
+
+class TestFitStreaming:
+    def test_matches_in_ram_fit(self, tmp_path):
+        tensor = random_tensor(3, 1_000, seed=23)
+        config = PTuckerConfig(
+            ranks=(3, 3, 3),
+            max_iterations=3,
+            tolerance=0.0,
+            seed=0,
+            ingest_chunk_nnz=311,
+            shard_nnz=450,
+        )
+        in_ram = PTucker(config).fit(tensor)
+        streamed = PTucker(config).fit_streaming(TensorEntryReader(tensor))
+        assert np.array_equal(streamed.core, in_ram.core)
+        for mine, theirs in zip(streamed.factors, in_ram.factors):
+            assert np.array_equal(mine, theirs)
+
+    def test_from_text_matches_in_ram_fit(self, tmp_path):
+        tensor = random_tensor(3, 800, seed=29)
+        path = tmp_path / "t.tns"
+        save_text(tensor, path)
+        config = PTuckerConfig(
+            ranks=(2, 2, 2), max_iterations=2, tolerance=0.0, seed=1
+        )
+        in_ram = PTucker(config).fit(tensor)
+        streamed = PTucker(config).fit_streaming(TextEntryReader(path))
+        assert np.array_equal(streamed.core, in_ram.core)
+
+    def test_persists_store_when_shard_dir_set(self, tmp_path):
+        tensor = random_tensor(3, 500, seed=31)
+        store_dir = str(tmp_path / "store")
+        config = PTuckerConfig(
+            ranks=(2, 2, 2), max_iterations=1, shard_dir=store_dir
+        )
+        PTucker(config).fit_streaming(TensorEntryReader(tensor))
+        assert ShardStore.open(store_dir).matches(tensor)
+
+    def test_variants_rejected(self, random_small):
+        from repro.core import PTuckerCache
+
+        with pytest.raises(ShapeError):
+            PTuckerCache(PTuckerConfig(ranks=(2, 2, 2))).fit_streaming(
+                TensorEntryReader(random_small)
+            )
+
+    def test_config_validates_ingest_chunk_nnz(self):
+        with pytest.raises(ShapeError):
+            PTuckerConfig(ingest_chunk_nnz=0)

@@ -1,0 +1,299 @@
+"""Chunked text ingest: reader protocol, vectorized parser tiers, diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError, ShapeError
+from repro.tensor import SparseTensor, load_text, save_npz, save_text
+from repro.tensor.io import (
+    NpzEntryReader,
+    ShardEntryReader,
+    TensorEntryReader,
+    TextEntryReader,
+    open_entry_reader,
+)
+from repro.tensor.textparse import parse_numeric_block
+
+
+def read_all(reader, chunk_nnz):
+    chunks = list(reader.iter_entry_chunks(chunk_nnz))
+    if not chunks:
+        return np.empty((0, 0), dtype=np.int64), np.empty(0)
+    return (
+        np.concatenate([i for i, _ in chunks]),
+        np.concatenate([v for _, v in chunks]),
+    )
+
+
+class TestTextEntryReader:
+    def test_chunks_match_load_text(self, random_small, tmp_path):
+        path = tmp_path / "t.tns"
+        save_text(random_small, path)
+        reference = load_text(path)
+        for chunk_nnz in (1, 7, 100, 10_000):
+            indices, values = read_all(TextEntryReader(path), chunk_nnz)
+            assert np.array_equal(indices, reference.indices)
+            assert np.array_equal(values, reference.values)
+
+    def test_exact_chunk_sizes(self, random_small, tmp_path):
+        path = tmp_path / "t.tns"
+        save_text(random_small, path)
+        sizes = [
+            i.shape[0] for i, _ in TextEntryReader(path).iter_entry_chunks(64)
+        ]
+        assert all(s == 64 for s in sizes[:-1])
+        assert 0 < sizes[-1] <= 64
+        assert sum(sizes) == random_small.nnz
+
+    def test_tiny_byte_chunks_split_lines(self, random_small, tmp_path):
+        """Lines split across byte-chunk reads are reassembled losslessly."""
+        path = tmp_path / "t.tns"
+        save_text(random_small, path)
+        reference = load_text(path)
+        indices, values = read_all(
+            TextEntryReader(path, chunk_bytes=16), random_small.nnz
+        )
+        assert np.array_equal(indices, reference.indices)
+        assert np.array_equal(values, reference.values)
+
+    def test_no_trailing_newline(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_bytes(b"1 1 1.5\n2 2 2.5")
+        indices, values = read_all(TextEntryReader(path), 10)
+        assert indices.tolist() == [[0, 0], [1, 1]]
+        assert values.tolist() == [1.5, 2.5]
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.tns"
+        path.write_text("")
+        assert list(TextEntryReader(path).iter_entry_chunks(10)) == []
+        path.write_text("# only comments\n\n")
+        assert list(TextEntryReader(path).iter_entry_chunks(10)) == []
+
+    def test_zero_based_and_one_based(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 2 1.5\n3 4 2.5\n")
+        one_based, _ = read_all(TextEntryReader(path), 10)
+        zero_based, _ = read_all(TextEntryReader(path, one_based=False), 10)
+        assert one_based.tolist() == [[0, 1], [2, 3]]
+        assert zero_based.tolist() == [[1, 2], [3, 4]]
+
+    def test_shape_bound_violation_names_line(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1.0\n9 1 2.0\n")
+        with pytest.raises(DataFormatError) as excinfo:
+            read_all(TextEntryReader(path, shape=(3, 3)), 10)
+        assert ":2:" in str(excinfo.value)
+
+    def test_malformed_line_at_chunk_boundary(self, tmp_path):
+        """A bad line split across two byte chunks reports its true number."""
+        lines = [f"{i} {i} 1.5" for i in range(1, 40)]
+        lines[20] = "21 oops 1.5"
+        path = tmp_path / "bad.tns"
+        path.write_text("\n".join(lines) + "\n")
+        # chunk_bytes=16 guarantees every line straddles a read boundary.
+        with pytest.raises(DataFormatError) as excinfo:
+            read_all(TextEntryReader(path, chunk_bytes=16), 5)
+        assert ":21:" in str(excinfo.value)
+
+    def test_arity_change_across_chunks(self, tmp_path):
+        lines = [f"{i} {i} 1.5" for i in range(1, 30)]
+        lines.append("5 5 5 1.5")
+        path = tmp_path / "arity.tns"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataFormatError) as excinfo:
+            read_all(TextEntryReader(path, chunk_bytes=32), 4)
+        assert ":30:" in str(excinfo.value)
+
+    def test_integral_float_indices_accepted(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("3.0 2e0 1.5\n")
+        indices, values = read_all(TextEntryReader(path), 10)
+        assert indices.tolist() == [[2, 1]]
+        assert values.tolist() == [1.5]
+
+    def test_index_overflowing_int64_names_line(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1.0\n99999999999999999999 1 2.0\n")
+        with pytest.raises(DataFormatError) as excinfo:
+            read_all(TextEntryReader(path), 10)
+        assert ":2:" in str(excinfo.value)
+
+    def test_fractional_index_rejected_with_line(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1.0\n1.5 1 2.0\n")
+        with pytest.raises(DataFormatError) as excinfo:
+            read_all(TextEntryReader(path), 10)
+        assert ":2:" in str(excinfo.value)
+
+    def test_inline_comments_tolerated(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1.5 # trailing note\n2 2 2.5\n")
+        indices, values = read_all(TextEntryReader(path), 10)
+        assert values.tolist() == [1.5, 2.5]
+
+    def test_crlf_line_endings(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_bytes(b"1 1 1.5\r\n2 2 2.5\r\n")
+        _, values = read_all(TextEntryReader(path), 10)
+        assert values.tolist() == [1.5, 2.5]
+
+
+class TestTextReaderEncoding:
+    """The UTF-8 satellite: BOMs and non-ASCII comments must not crash."""
+
+    def test_utf8_bom_is_skipped(self, tmp_path):
+        path = tmp_path / "bom.tns"
+        path.write_bytes(b"\xef\xbb\xbf1 1 1.5\n")
+        tensor = load_text(path)
+        assert tensor.nnz == 1
+        assert tensor.get((0, 0)) == 1.5
+
+    def test_non_ascii_comment(self, tmp_path):
+        path = tmp_path / "utf8.tns"
+        path.write_text("# café ☃ header\n1 1 1.5\n", encoding="utf-8")
+        assert load_text(path).nnz == 1
+
+    def test_invalid_utf8_in_comment_tolerated(self, tmp_path):
+        path = tmp_path / "latin.tns"
+        path.write_bytes(b"# caf\xe9 latin-1 comment\n1 1 1.5\n")
+        assert load_text(path).nnz == 1
+
+    def test_invalid_utf8_in_data_names_line(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_bytes(b"1 1 1.5\n1 \xff\xfe 2.0\n")
+        with pytest.raises(DataFormatError) as excinfo:
+            load_text(path)
+        assert ":2:" in str(excinfo.value)
+
+
+class TestParseNumericBlock:
+    """The turbo tier must be exact where it answers, silent where not."""
+
+    def test_values_match_float_bit_for_bit(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(500) * 10.0 ** rng.integers(-40, 40, 500)
+        block = "".join(
+            f"1 2 {value:.17g}\n" for value in values
+        ).encode()
+        parsed = parse_numeric_block(block, 3)
+        assert parsed is not None
+        assert np.array_equal(parsed[1], values)
+
+    def test_short_decimals_exact(self):
+        tokens = ["0.5", "5", "-3.25", "0", "4.75", "100", "0.125"]
+        block = "".join(f"7 8 {t}\n" for t in tokens).encode()
+        parsed = parse_numeric_block(block, 3)
+        assert [float(t) for t in tokens] == parsed[1].tolist()
+        assert parsed[0].tolist() == [[7, 8]] * len(tokens)
+
+    @pytest.mark.parametrize(
+        "block",
+        [
+            b"1 2 3.0 4 5 6.0\n",  # two entries on one line
+            b"1 2\n1 2 3\n",  # ragged arity that happens to divide
+            b"-1 2 3.0\n",  # sign in an index column
+            b"1.5 2 3.0\n",  # dot in an index column
+            b"# comment\n1 2 3.0\n",  # comments are the robust tier's job
+        ],
+    )
+    def test_structural_oddities_decline(self, block):
+        assert parse_numeric_block(block, 3) is None
+
+    def test_blank_lines_and_missing_trailing_newline(self):
+        parsed = parse_numeric_block(b"1 2 3.5\n\n4 5 6.5", 3)
+        assert parsed[0].tolist() == [[1, 2], [4, 5]]
+        assert parsed[1].tolist() == [3.5, 6.5]
+
+    def test_huge_unsigned_integer_values_match_float(self):
+        """19+ digit values overflow int64 and must fall back, not wrap."""
+        tokens = [
+            "9999999999999999999",
+            "18446744073709551617",
+            "123456789012345678901234567890",
+            "5",
+        ]
+        block = "".join(f"1 2 {t}\n" for t in tokens).encode()
+        parsed = parse_numeric_block(block, 3)
+        assert parsed[1].tolist() == [float(t) for t in tokens]
+
+
+class TestBinaryReaders:
+    def test_npz_reader(self, random_small, tmp_path):
+        path = tmp_path / "t.npz"
+        save_npz(random_small, path)
+        reader = NpzEntryReader(path)
+        assert reader.shape == random_small.shape
+        indices, values = read_all(reader, 97)
+        assert np.array_equal(indices, random_small.indices)
+        assert np.array_equal(values, random_small.values)
+
+    def test_npz_reader_missing_arrays(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, indices=np.zeros((1, 2), dtype=np.int64))
+        with pytest.raises(DataFormatError):
+            NpzEntryReader(path)
+
+    def test_tensor_reader(self, random_small):
+        reader = TensorEntryReader(random_small)
+        indices, values = read_all(reader, 113)
+        assert np.array_equal(indices, random_small.indices)
+        assert np.array_equal(values, random_small.values)
+
+    def test_shard_reader_roundtrip(self, random_small, tmp_path):
+        from repro.shards import ShardStore
+
+        store = ShardStore.build(random_small, str(tmp_path / "store"))
+        reader = ShardEntryReader(tmp_path / "store")
+        indices, values = read_all(reader, 151)
+        canonical = store.to_tensor()
+        assert np.array_equal(indices, canonical.indices)
+        assert np.array_equal(values, canonical.values)
+
+    def test_chunk_nnz_validation(self, random_small):
+        with pytest.raises(ShapeError):
+            list(TensorEntryReader(random_small).iter_entry_chunks(0))
+
+
+class TestOpenEntryReader:
+    def test_dispatch(self, random_small, tmp_path):
+        from repro.shards import ShardStore
+
+        text = tmp_path / "t.tns"
+        save_text(random_small, text)
+        npz = tmp_path / "t.npz"
+        save_npz(random_small, npz)
+        ShardStore.build(random_small, str(tmp_path / "store"))
+        assert isinstance(open_entry_reader(text), TextEntryReader)
+        assert isinstance(open_entry_reader(npz), NpzEntryReader)
+        assert isinstance(open_entry_reader(tmp_path / "store"), ShardEntryReader)
+
+
+class TestLoadTextEquivalence:
+    def test_matches_reference_parser_exactly(self, tmp_path):
+        """The vectorized tiers reproduce the per-line semantics bit for bit."""
+        rng = np.random.default_rng(5)
+        nnz = 400
+        indices = np.stack([rng.integers(0, 25, nnz) for _ in range(3)], axis=1)
+        values = rng.standard_normal(nnz)
+        tensor = SparseTensor(indices, values, (25, 25, 25))
+        path = tmp_path / "t.tns"
+        save_text(tensor, path)
+        loaded = load_text(path)
+        assert np.array_equal(loaded.indices, tensor.indices)
+        assert np.array_equal(loaded.values, tensor.values)
+        assert loaded.shape == tuple(int(m) + 1 for m in indices.max(axis=0))
+
+
+class TestClearCaches:
+    def test_clear_caches_drops_sort_permutations(self, random_small):
+        for mode in range(random_small.order):
+            random_small.sort_by_mode(mode)
+        assert len(random_small._mode_sorted_cache) == random_small.order
+        random_small.clear_caches()
+        assert len(random_small._mode_sorted_cache) == 0
+        # Recomputed permutations are identical.
+        perm = random_small.sort_by_mode(0)
+        assert np.array_equal(
+            perm, np.argsort(random_small.indices[:, 0], kind="stable")
+        )

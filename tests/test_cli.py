@@ -186,6 +186,73 @@ class TestFactorizeCommand:
             assert hasattr(solver, "fit"), name
 
 
+class TestIngestCommand:
+    def test_ingest_builds_matching_store(self, tensor_file, tmp_path, capsys):
+        path, tensor = tensor_file
+        store_dir = str(tmp_path / "store")
+        code = main(
+            ["ingest", path, "--shards", store_dir, "--chunk-nnz", "123"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "observed entries" in output
+        from repro.shards import ShardStore
+
+        store = ShardStore.open(store_dir)
+        store.validate()
+        assert store.matches(tensor)
+
+    def test_ingest_reshards_existing_store(self, tensor_file, tmp_path, capsys):
+        path, _ = tensor_file
+        first = str(tmp_path / "first")
+        second = str(tmp_path / "second")
+        assert main(["ingest", path, "--shards", first]) == 0
+        code = main(["ingest", first, "--shards", second, "--shard-nnz", "99"])
+        assert code == 0
+        from repro.shards import ShardStore
+
+        assert ShardStore.open(second).shard_nnz == 99
+
+
+class TestFromTextFlag:
+    def test_from_text_matches_in_ram_model(self, tensor_file, tmp_path, capsys):
+        path, _ = tensor_file
+        in_ram_prefix = str(tmp_path / "in_ram")
+        streamed_prefix = str(tmp_path / "streamed")
+        common = ["--ranks", "2", "2", "2", "--max-iterations", "2",
+                  "--tolerance", "0"]
+        assert main(["fit", path, *common, "--output", in_ram_prefix]) == 0
+        code = main(
+            ["fit", path, *common, "--from-text", "--chunk-nnz", "200",
+             "--output", streamed_prefix]
+        )
+        assert code == 0
+        assert "streaming ingest" in capsys.readouterr().out
+        in_ram = load_model(in_ram_prefix + ".npz")
+        streamed = load_model(streamed_prefix + ".npz")
+        np.testing.assert_array_equal(streamed.core, in_ram.core)
+        for mine, theirs in zip(streamed.factors, in_ram.factors):
+            np.testing.assert_array_equal(mine, theirs)
+
+    def test_from_text_rejects_other_algorithms(self, tensor_file, capsys):
+        path, _ = tensor_file
+        code = main(
+            ["fit", path, "--ranks", "2", "2", "2", "--from-text",
+             "--algorithm", "cp-als"]
+        )
+        assert code == 2
+        assert "--from-text" in capsys.readouterr().err
+
+    def test_from_text_rejects_test_fraction(self, tensor_file, capsys):
+        path, _ = tensor_file
+        code = main(
+            ["fit", path, "--ranks", "2", "2", "2", "--from-text",
+             "--test-fraction", "0.1"]
+        )
+        assert code == 2
+        assert "test" in capsys.readouterr().err
+
+
 class TestPredictCommand:
     def test_predict_matches_library_prediction(self, tensor_file, tmp_path, capsys):
         path, tensor = tensor_file
