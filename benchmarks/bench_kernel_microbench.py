@@ -76,6 +76,13 @@ def main(argv=None) -> int:
         "(which includes the nnz=100k acceptance cell)",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a single tiny cell with one repeat (CI smoke: proves the "
+        "whole bench pipeline executes in seconds; never overwrites the "
+        "committed record)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=None,
@@ -94,12 +101,21 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    grid = SMALL_GRID if args.small else DEFAULT_GRID
+    if args.smoke:
+        grid = SMALL_GRID[:1]
+        args.repeats = 1
+    else:
+        grid = SMALL_GRID if args.small else DEFAULT_GRID
     output = args.output
     if output is None:
-        # Smoke runs get their own file so the committed full-grid record
-        # is never overwritten by 3-cell data.
-        filename = "BENCH_kernels_small.json" if args.small else "BENCH_kernels.json"
+        # Smoke/small runs get their own file so the committed full-grid
+        # record is never overwritten by reduced-grid data.
+        if args.smoke:
+            filename = "BENCH_kernels_smoke.json"
+        elif args.small:
+            filename = "BENCH_kernels_small.json"
+        else:
+            filename = "BENCH_kernels.json"
         output = os.path.join(os.path.dirname(__file__), "..", filename)
     payload = run_microbench(grid=grid, repeats=args.repeats, backends=args.backends)
     path = write_payload(payload, os.path.normpath(output))

@@ -5,7 +5,9 @@ Usage::
     python -m repro factorize ratings.tns --ranks 10 10 5 5 --output model
     python -m repro fit ratings.tns --ranks 10 --shards /data/shards
     python -m repro fit ratings.tns --ranks 10 --from-text --output model
-    python -m repro ingest ratings.tns --shards /data/shards
+    python -m repro ingest ratings.tns --out /data/shards
+    python -m repro ingest ratings.tns --format rcoo --out ratings.rcoo
+    python -m repro shards-migrate /data/shards-v1 --out /data/shards
     python -m repro predict model.npz --index 3 17 2 14
     python -m repro info ratings.tns
 
@@ -13,7 +15,10 @@ Usage::
 from an on-disk shard store instead of RAM, ``--from-text`` additionally
 streams the *input file* through the external-memory shard build so the
 tensor never exists in RAM, and ``ingest`` runs that build on its own —
-see :mod:`repro.shards`.)
+``--format rcoo`` writes the chunked binary COO container of
+:mod:`repro.tensor.io` instead of a store.  ``shards-migrate`` rewrites a
+retired version-1 shard directory into the current narrow columnar
+format v2 in bounded memory — see :mod:`repro.shards`.)
 
 ``factorize`` reads a whitespace-separated ``i_1 ... i_N value`` file (the
 format of the paper's released datasets), runs the chosen algorithm, reports
@@ -31,6 +36,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .baselines import CpAls, SHot, TuckerAls, TuckerCsf, TuckerWopt
+from .columns import INDEX_DTYPE_POLICIES
 from .core import PTucker, PTuckerApprox, PTuckerCache, PTuckerConfig, TuckerResult
 from .core.sampled import PTuckerSampled
 from .kernels.backends import backend_names_for_cli
@@ -133,6 +139,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="entries read per chunk during --from-text ingest "
         "(default: 5e5; bounds ingest peak memory)",
     )
+    factorize.add_argument(
+        "--index-dtype",
+        choices=INDEX_DTYPE_POLICIES,
+        default="auto",
+        help="index storage: 'auto' (default) keeps every index column in "
+        "the narrowest dtype its mode dimension admits (uint8/16/32, "
+        "int64 fallback) in RAM and on disk; 'wide' forces int64. "
+        "Results are bitwise-identical either way",
+    )
     factorize.add_argument("--regularization", type=float, default=0.01)
     factorize.add_argument("--max-iterations", type=int, default=20)
     factorize.add_argument("--tolerance", type=float, default=1e-4)
@@ -154,18 +169,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ingest = subparsers.add_parser(
         "ingest",
-        help="stream a tensor file into an on-disk shard store (bounded RAM)",
+        help="stream a tensor file into an on-disk shard store or an "
+        ".rcoo container (bounded RAM)",
     )
     ingest.add_argument(
         "input",
         help="tensor input: a 'i_1 ... i_N value' text file, a .npz "
-        "archive, or an existing shard-store directory to re-shard",
+        "archive, an .rcoo container, or an existing shard-store "
+        "directory (any version) to re-shard",
     )
     ingest.add_argument(
+        "--out",
         "--shards",
-        metavar="DIR",
+        dest="out",
+        metavar="PATH",
         required=True,
-        help="target directory for the built shard store",
+        help="target of the build: a directory for the shard store "
+        "(--format store), or a file path for --format rcoo "
+        "(--shards is an accepted alias)",
+    )
+    ingest.add_argument(
+        "--format",
+        choices=("store", "rcoo"),
+        default="store",
+        help="output format: 'store' (default) builds the sharded "
+        "mode-sorted store; 'rcoo' writes the chunked binary COO "
+        "container (entry order preserved, bounded-RAM re-read)",
     )
     ingest.add_argument(
         "--shard-nnz",
@@ -180,9 +209,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="entries read per chunk (default: 5e5; bounds peak memory)",
     )
     ingest.add_argument(
+        "--index-dtype",
+        choices=INDEX_DTYPE_POLICIES,
+        default="auto",
+        help="index column dtypes of the output: 'auto' (default) "
+        "narrowest per mode dimension, 'wide' int64",
+    )
+    ingest.add_argument(
         "--zero-based",
         action="store_true",
         help="indices in a text input start at 0 instead of 1",
+    )
+
+    migrate = subparsers.add_parser(
+        "shards-migrate",
+        help="rewrite a version-1 shard store as format v2 (bounded RAM)",
+    )
+    migrate.add_argument(
+        "store", help="path of the version-1 shard-store directory"
+    )
+    migrate.add_argument(
+        "--out",
+        metavar="DIR",
+        required=True,
+        help="target directory for the rewritten v2 store (must differ "
+        "from the source)",
+    )
+    migrate.add_argument(
+        "--index-dtype",
+        choices=INDEX_DTYPE_POLICIES,
+        default="auto",
+        help="index column dtypes of the rewritten store (default: auto)",
     )
 
     predict = subparsers.add_parser("predict", help="predict one cell of a stored model")
@@ -225,6 +282,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
         shard_dir=args.shards or None,
         shard_nnz=args.shard_nnz,
         ingest_chunk_nnz=args.chunk_nnz,
+        index_dtype=args.index_dtype,
     )
     solver = ALGORITHMS[args.algorithm](config)
 
@@ -269,21 +327,57 @@ def _command_factorize(args: argparse.Namespace) -> int:
 
 
 def _command_ingest(args: argparse.Namespace) -> int:
-    from .tensor.io import save_shards
+    from .tensor.io import RcooEntryReader, save_shards, write_rcoo
 
     reader = open_entry_reader(args.input, one_based=not args.zero_based)
+    if args.format == "rcoo":
+        shape = write_rcoo(
+            reader,
+            args.out,
+            block_nnz=args.chunk_nnz,
+            index_dtype=args.index_dtype,
+        )
+        written = RcooEntryReader(args.out)
+        print(f"ingested {args.input} into rcoo container at {args.out}")
+        print(f"shape: {shape}")
+        print(f"observed entries: {written.nnz}")
+        print(
+            f"blocks: {-(-written.nnz // written.block_nnz)} "
+            f"({written.block_nnz} entries per block, index dtypes "
+            f"{[str(d) for d in written.index_dtypes]})"
+        )
+        return 0
     store = save_shards(
         None,
-        args.shards,
+        args.out,
         shard_nnz=args.shard_nnz,
         source=reader,
         chunk_nnz=args.chunk_nnz,
+        index_dtype=args.index_dtype,
     )
     n_shards = sum(len(store.mode_shards(mode)) for mode in range(store.order))
     print(f"ingested {args.input} into shard store at {store.directory}")
     print(f"shape: {store.shape}")
     print(f"observed entries: {store.nnz}")
     print(f"shards: {n_shards} ({store.shard_nnz} entries per shard)")
+    print(
+        f"index bytes per entry: {store.index_bytes_per_entry} "
+        f"({[str(d) for d in store.index_dtypes]})"
+    )
+    return 0
+
+
+def _command_shards_migrate(args: argparse.Namespace) -> int:
+    from .shards import migrate_v1_store
+
+    store = migrate_v1_store(args.store, args.out, index_dtype=args.index_dtype)
+    print(f"migrated v1 store {args.store} to v2 at {store.directory}")
+    print(f"shape: {store.shape}")
+    print(f"observed entries: {store.nnz}")
+    print(
+        f"index bytes per entry: {store.index_bytes_per_entry} "
+        f"({[str(d) for d in store.index_dtypes]})"
+    )
     return 0
 
 
@@ -320,17 +414,33 @@ def _command_info(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Data-format problems (a malformed input file, a retired v1 shard
+    store under ``ingest`` or ``shards-migrate``) surface as an error
+    message plus exit code 2 instead of a traceback — the v1 message
+    includes the ``shards-migrate`` recipe verbatim.  ``fit --shards``
+    treats its directory as a cache, so a v1 store there is rebuilt as
+    v2 from the input tensor rather than reported.
+    """
+    from .exceptions import DataFormatError
+
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("factorize", "fit"):
-        return _command_factorize(args)
-    if args.command == "ingest":
-        return _command_ingest(args)
-    if args.command == "predict":
-        return _command_predict(args)
-    if args.command == "info":
-        return _command_info(args)
+    try:
+        if args.command in ("factorize", "fit"):
+            return _command_factorize(args)
+        if args.command == "ingest":
+            return _command_ingest(args)
+        if args.command == "shards-migrate":
+            return _command_shards_migrate(args)
+        if args.command == "predict":
+            return _command_predict(args)
+        if args.command == "info":
+            return _command_info(args)
+    except DataFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -72,6 +72,15 @@ class PTuckerConfig:
         (:meth:`~repro.core.ptucker.PTucker.fit_streaming`, CLI
         ``fit --from-text`` / ``ingest``).  Bounds the ingest pass's peak
         memory; the built store is bitwise-identical for every value.
+    index_dtype:
+        Index storage policy: ``"auto"`` (default) keeps every index
+        column — in-RAM mode contexts and on-disk shard stores alike — in
+        the narrowest unsigned dtype its mode dimension admits
+        (``uint8``/``uint16``/``uint32``, ``int64`` beyond 2**32);
+        ``"wide"`` forces the historical int64 everywhere.  Index dtype
+        never touches a float64, so both settings produce bitwise-identical
+        fits; ``"auto"`` simply moves 3-8x fewer index bytes at typical
+        dimensions.  See :mod:`repro.columns`.
     """
 
     ranks: Tuple[int, ...] = (10,)
@@ -91,6 +100,7 @@ class PTuckerConfig:
     shard_dir: Optional[str] = None
     shard_nnz: int = 1_000_000
     ingest_chunk_nnz: int = 500_000
+    index_dtype: str = "auto"
 
     def __post_init__(self) -> None:
         if self.regularization < 0:
@@ -113,6 +123,9 @@ class PTuckerConfig:
             raise ShapeError("shard_nnz must be positive")
         if self.ingest_chunk_nnz < 1:
             raise ShapeError("ingest_chunk_nnz must be positive")
+        from ..columns import check_index_dtype_policy
+
+        check_index_dtype_policy(self.index_dtype)
         from ..kernels.backends import backend_names_for_cli
 
         if self.backend not in backend_names_for_cli():

@@ -125,6 +125,7 @@ class PTucker:
                 directory,
                 shard_nnz=config.shard_nnz,
                 chunk_nnz=config.ingest_chunk_nnz,
+                index_dtype=config.index_dtype,
             )
             executor = ShardedSweepExecutor(
                 store, backend=config.backend, block_size=config.block_size
@@ -157,7 +158,10 @@ class PTucker:
             from ..shards import ShardedSweepExecutor, ShardStore
 
             store = ShardStore.for_tensor(
-                tensor, config.shard_dir, shard_nnz=config.shard_nnz
+                tensor,
+                config.shard_dir,
+                shard_nnz=config.shard_nnz,
+                index_dtype=config.index_dtype,
             )
             executor = ShardedSweepExecutor(
                 store, backend=config.backend, block_size=config.block_size
@@ -177,7 +181,9 @@ class PTucker:
         scheduler = RowScheduler(
             n_threads=config.threads, scheduling=config.scheduling
         )
-        contexts: List[ModeContext] = build_all_mode_contexts(tensor)
+        contexts: List[ModeContext] = build_all_mode_contexts(
+            tensor, index_dtype=config.index_dtype
+        )
         trace = ConvergenceTrace()
         timer = IterationTimer()
 

@@ -21,6 +21,12 @@ Consumers map the user-facing ``backend=`` knob (a registered name, a
 or ``None``) to a concrete backend with :func:`resolve_backend`; new
 strategies subclass :class:`KernelBackend` and call
 :func:`register_backend` once at import time.
+
+Every backend consumes entry blocks in either layout — the conventional
+``(m, N)`` int64 matrix or the narrow columnar
+:class:`~repro.columns.IndexColumns` of format-v2 shard stores and
+``index_dtype="auto"`` mode contexts — without widening copies, and
+produces bit-identical results for both.
 """
 
 from .base import (

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ...columns import as_index_block
 from ..contraction import make_delta_contractor
 from ..segments import normal_equations_sorted
 from ..solve import solve_rows
@@ -88,7 +89,7 @@ class KernelBackend:
         mode: int,
     ) -> np.ndarray:
         """δ vectors (Eq. 12) for one entry block."""
-        indices_block = np.asarray(indices_block)
+        indices_block = as_index_block(indices_block)
         contractor = make_delta_contractor(
             factors, core, mode, indices_block.shape[0]
         )

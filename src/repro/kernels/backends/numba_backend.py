@@ -15,6 +15,18 @@ the profitable trade exactly where the NumPy path is weakest: many short
 row segments at small |G|.  The autotuner decides per shape class which
 strategy wins; nothing is assumed.
 
+Input blocks are never re-copied when they already comply: a C-contiguous
+integer index matrix of *any* dtype passes straight into the JIT (numba
+compiles one specialisation per dtype, so narrow uint8/uint16/uint32
+matrices run as-is), and float64/int64 value/offset arrays pass through
+``ascontiguousarray`` untouched.  Columnar narrow blocks
+(:class:`~repro.columns.IndexColumns`) take a second compiled route: the
+factor rows of each entry are gathered *outside* the JIT with NumPy fancy
+indexing (which consumes the narrow columns directly, no widening), and
+the fused loop reads the gathered ``(m, J_k)`` float64 stacks — the same
+multiplications in the same order, so the result is bitwise identical to
+the matrix route.
+
 Every loop reads the factor matrices and core in place — the S-HOT "never
 materialise the unfolding" discipline carries over verbatim.
 """
@@ -27,6 +39,7 @@ import numpy as np
 import numba
 from numba import njit, prange
 
+from ...columns import IndexColumns, as_index_block
 from .base import KernelBackend, NormalEquationsKernel
 
 
@@ -68,6 +81,43 @@ def _fused_normal_equations(
 
 
 @njit(cache=True, parallel=True)
+def _fused_normal_equations_gathered(
+    gathered, values, starts, counts, core_flat, core_shape, mode, rank
+):  # pragma: no cover - compiled; exercised only where numba is installed
+    n_segments = starts.shape[0]
+    order = core_shape.shape[0]
+    n_cells = core_flat.shape[0]
+    b_matrices = np.zeros((n_segments, rank, rank), dtype=np.float64)
+    c_vectors = np.zeros((n_segments, rank), dtype=np.float64)
+    for segment in prange(n_segments):
+        delta = np.empty(rank, dtype=np.float64)
+        for entry in range(starts[segment], starts[segment] + counts[segment]):
+            for j in range(rank):
+                delta[j] = 0.0
+            for cell in range(n_cells):
+                weight = core_flat[cell]
+                remainder = cell
+                kept_index = 0
+                for k in range(order - 1, -1, -1):
+                    j_k = remainder % core_shape[k]
+                    remainder //= core_shape[k]
+                    if k == mode:
+                        kept_index = j_k
+                    else:
+                        # gathered[k][entry] is factors[k][indices[entry, k]]:
+                        # the same float read, so the same product bit for bit.
+                        weight *= gathered[k][entry, j_k]
+                delta[kept_index] += weight
+            value = values[entry]
+            for a in range(rank):
+                delta_a = delta[a]
+                c_vectors[segment, a] += value * delta_a
+                for b in range(rank):
+                    b_matrices[segment, a, b] += delta_a * delta[b]
+    return b_matrices, c_vectors
+
+
+@njit(cache=True, parallel=True)
 def _delta_block(
     indices, factors, core_flat, core_shape, mode, rank
 ):  # pragma: no cover - compiled; exercised only where numba is installed
@@ -91,11 +141,74 @@ def _delta_block(
     return deltas
 
 
+@njit(cache=True, parallel=True)
+def _delta_block_gathered(
+    gathered, n_entries, core_flat, core_shape, mode, rank
+):  # pragma: no cover - compiled; exercised only where numba is installed
+    order = core_shape.shape[0]
+    n_cells = core_flat.shape[0]
+    deltas = np.zeros((n_entries, rank), dtype=np.float64)
+    for entry in prange(n_entries):
+        for cell in range(n_cells):
+            weight = core_flat[cell]
+            remainder = cell
+            kept_index = 0
+            for k in range(order - 1, -1, -1):
+                j_k = remainder % core_shape[k]
+                remainder //= core_shape[k]
+                if k == mode:
+                    kept_index = j_k
+                else:
+                    weight *= gathered[k][entry, j_k]
+            deltas[entry, kept_index] += weight
+    return deltas
+
+
 def _as_uniform_tuple(factors: Sequence[np.ndarray]):
     """Factors as a tuple of C-contiguous float64 matrices (numba UniTuple)."""
     return tuple(
         np.ascontiguousarray(np.asarray(factor), dtype=np.float64)
         for factor in factors
+    )
+
+
+def _compliant_matrix(indices_block: np.ndarray) -> np.ndarray:
+    """An index matrix numba can consume without another copy.
+
+    Any C-contiguous integer matrix passes through as-is — numba compiles
+    one specialisation per dtype, so uint8/uint16/uint32 blocks run
+    directly; only Fortran-ordered or float inputs pay a conversion.
+    """
+    indices_block = np.asarray(indices_block)
+    if indices_block.dtype.kind in "iu" and indices_block.flags.c_contiguous:
+        return indices_block
+    return np.ascontiguousarray(indices_block, dtype=np.int64)
+
+
+def _compliant(array: np.ndarray, dtype) -> np.ndarray:
+    """``ascontiguousarray`` that is an explicit no-op on compliant input."""
+    array = np.asarray(array)
+    if array.dtype == dtype and array.flags.c_contiguous:
+        return array
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
+def _gather_factor_rows(
+    factor_tuple, columns: IndexColumns, mode: int
+):
+    """Per-entry factor rows, gathered with the narrow columns directly.
+
+    ``gathered[k][e] == factors[k][columns[:, k][e]]`` for every non-kept
+    mode; the kept mode gets a 1x1 placeholder (never read) so the tuple
+    stays homogeneous for numba.  NumPy's fancy indexing accepts the
+    unsigned narrow columns as-is — no widened index copy is ever made.
+    """
+    placeholder = np.zeros((1, 1), dtype=np.float64)
+    return tuple(
+        placeholder
+        if k == mode
+        else np.ascontiguousarray(factor_tuple[k][columns.column(k)])
+        for k in range(len(factor_tuple))
     )
 
 
@@ -118,16 +231,29 @@ class NumbaBackend(KernelBackend):
         factor_tuple = _as_uniform_tuple(factors)
 
         def kernel(
-            indices_block: np.ndarray,
+            indices_block,
             values_block: np.ndarray,
             starts: np.ndarray,
         ) -> Tuple[np.ndarray, np.ndarray]:
+            indices_block = as_index_block(indices_block)
             n_entries = indices_block.shape[0]
-            starts = np.ascontiguousarray(starts, dtype=np.int64)
-            counts = np.diff(np.append(starts, n_entries))
+            starts = _compliant(starts, np.int64)
+            counts = np.diff(starts, append=n_entries)
+            values_block = _compliant(values_block, np.float64)
+            if isinstance(indices_block, IndexColumns):
+                return _fused_normal_equations_gathered(
+                    _gather_factor_rows(factor_tuple, indices_block, mode),
+                    values_block,
+                    starts,
+                    counts,
+                    core_flat,
+                    core_shape,
+                    mode,
+                    rank,
+                )
             return _fused_normal_equations(
-                np.ascontiguousarray(indices_block, dtype=np.int64),
-                np.ascontiguousarray(values_block, dtype=np.float64),
+                _compliant_matrix(indices_block),
+                values_block,
                 starts,
                 counts,
                 factor_tuple,
@@ -141,18 +267,31 @@ class NumbaBackend(KernelBackend):
 
     def contract_delta_block(
         self,
-        indices_block: np.ndarray,
+        indices_block,
         factors: Sequence[np.ndarray],
         core: np.ndarray,
         mode: int,
     ) -> np.ndarray:
         core_arr = np.asarray(core, dtype=np.float64)
         rank = int(core_arr.shape[mode if core_arr.ndim > 1 else 0])
+        core_flat = np.ascontiguousarray(core_arr.reshape(-1))
+        core_shape = np.asarray(core_arr.shape, dtype=np.int64)
+        factor_tuple = _as_uniform_tuple(factors)
+        indices_block = as_index_block(indices_block)
+        if isinstance(indices_block, IndexColumns):
+            return _delta_block_gathered(
+                _gather_factor_rows(factor_tuple, indices_block, mode),
+                indices_block.shape[0],
+                core_flat,
+                core_shape,
+                mode,
+                rank,
+            )
         return _delta_block(
-            np.ascontiguousarray(np.asarray(indices_block), dtype=np.int64),
-            _as_uniform_tuple(factors),
-            np.ascontiguousarray(core_arr.reshape(-1)),
-            np.asarray(core_arr.shape, dtype=np.int64),
+            _compliant_matrix(indices_block),
+            factor_tuple,
+            core_flat,
+            core_shape,
             mode,
             rank,
         )

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...columns import as_index_block
 from ..contraction import make_delta_contractor
 from ..segments import normal_equations_sorted
 from ..solve import solve_rows
@@ -182,7 +183,7 @@ class ThreadedBackend(KernelBackend):
         core: np.ndarray,
         mode: int,
     ) -> np.ndarray:
-        indices_block = np.asarray(indices_block)
+        indices_block = as_index_block(indices_block)
         n_entries = indices_block.shape[0]
         contractor = make_delta_contractor(factors, core, mode, n_entries)
         n_chunks = self._n_chunks(n_entries, n_entries)

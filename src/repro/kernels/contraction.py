@@ -29,6 +29,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..columns import as_index_block
+
 #: Precontracted tables are capped at this many float64 cells (16 MB), so
 #: the hybrid never trades the eliminated Kronecker intermediate for an
 #: equally large table on wide-dimension modes.
@@ -150,8 +152,8 @@ def make_delta_contractor(
     plan = _ContractionPlan(factors, core_arr, mode, expected_entries)
     rank = core_arr.shape[mode]
 
-    def contract(indices_block: np.ndarray) -> np.ndarray:
-        indices_block = np.asarray(indices_block)
+    def contract(indices_block) -> np.ndarray:
+        indices_block = as_index_block(indices_block)
         if indices_block.shape[0] == 0:
             return np.zeros((0, rank), dtype=np.float64)
         return plan.apply(indices_block)
@@ -168,8 +170,8 @@ def make_value_contractor(
     core_arr = np.asarray(core, dtype=np.float64)
     plan = _ContractionPlan(factors, core_arr, None, expected_entries)
 
-    def contract(indices_block: np.ndarray) -> np.ndarray:
-        indices_block = np.asarray(indices_block)
+    def contract(indices_block) -> np.ndarray:
+        indices_block = as_index_block(indices_block)
         if indices_block.shape[0] == 0:
             return np.zeros(0, dtype=np.float64)
         return plan.apply(indices_block).reshape(-1)
@@ -191,7 +193,7 @@ def contract_delta_block(
     :func:`repro.core.row_update.compute_delta_block`, without ever building
     the ``(m, Π_{k≠mode} J_k)`` intermediate.
     """
-    indices_block = np.asarray(indices_block)
+    indices_block = as_index_block(indices_block)
     contractor = make_delta_contractor(
         factors, core, mode, indices_block.shape[0]
     )
@@ -210,6 +212,6 @@ def contract_value_block(
     ``(m, |G|)`` Kronecker weight matrix before reducing against the
     flattened core.
     """
-    indices_block = np.asarray(indices_block)
+    indices_block = as_index_block(indices_block)
     contractor = make_value_contractor(factors, core, indices_block.shape[0])
     return contractor(indices_block)

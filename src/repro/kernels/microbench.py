@@ -34,7 +34,13 @@ text parser against the frozen seed per-line loop
 ``parse_speedup_vs_loop``) and the external-memory shard build against the
 in-RAM one (``seconds_build_*``, ``peak_traced_mb_build_*``,
 ``peak_rss_mb_build_*``, ``streaming_build_equals_incore``) — see
-:func:`_bench_ingest`.
+:func:`_bench_ingest` — and the **narrow columnar index format** (shard
+store v2): on-disk index bytes per entry and total store size under
+``index_dtype="auto"`` vs ``"wide"`` (``index_bytes_per_nnz_*``,
+``store_disk_bytes_*``, ``index_bytes_ratio_wide_over_narrow``), the
+streamed sweep seconds over each (``seconds_sweep_narrow`` /
+``seconds_sweep_wide``) and their bitwise equality
+(``narrow_equals_wide``) — see :func:`_bench_index_dtype`.
 
 The resulting rows are what ``benchmarks/run_benchmarks.py`` and
 ``python -m repro.experiments bench-kernels`` serialise into
@@ -370,6 +376,85 @@ def _bench_sharded_vs_incore(
         row["peak_rss_mb_incore"] = rss_incore
     if rss_sharded is not None:
         row["peak_rss_mb_sharded"] = rss_sharded
+    return row
+
+
+def _directory_bytes(directory: str, suffix: Optional[str] = None) -> int:
+    """Total file bytes under ``directory`` (optionally filtered by suffix)."""
+    total = 0
+    for dirpath, _, names in os.walk(directory):
+        for name in names:
+            if suffix is not None and not name.endswith(suffix):
+                continue
+            total += os.path.getsize(os.path.join(dirpath, name))
+    return total
+
+
+def _bench_index_dtype(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    core: np.ndarray,
+    repeats: int,
+    regularization: float = 0.01,
+) -> Dict[str, object]:
+    """Narrow vs. wide index columns: store size and streamed sweep time.
+
+    Builds the cell's shard store twice — ``index_dtype="auto"`` (narrow
+    columns) and ``"wide"`` (int64 columns) — and records the on-disk
+    index bytes per entry and total store size of each, plus the wall time
+    of one streamed mode-0 sweep over each store at a matched block size
+    and the bitwise equality of the two updated factors.  Index dtype
+    never touches a float64, so ``narrow_equals_wide`` asserts the whole
+    point of format v2: 3-8x fewer index bytes for free.
+    """
+    from ..shards import ShardStore, ShardedSweepExecutor
+
+    block_size = max(2_048, tensor.nnz // 8)
+    row: Dict[str, object] = {}
+    results: Dict[str, np.ndarray] = {}
+    executors: Dict[str, ShardedSweepExecutor] = {}
+    best: Dict[str, float] = {"narrow": float("inf"), "wide": float("inf")}
+    with tempfile.TemporaryDirectory(prefix="repro-dtype-bench-") as work:
+        for policy, tag in (("auto", "narrow"), ("wide", "wide")):
+            store_dir = os.path.join(work, policy)
+            store = ShardStore.build(
+                tensor, store_dir, shard_nnz=block_size, index_dtype=policy
+            )
+            tensor.clear_caches()
+            index_bytes = sum(
+                _directory_bytes(store_dir, suffix=f".col{k}.npy")
+                for k in range(tensor.order)
+            )
+            row[f"index_bytes_per_nnz_{tag}"] = (
+                index_bytes / tensor.nnz if tensor.nnz else 0.0
+            )
+            row[f"store_disk_bytes_{tag}"] = _directory_bytes(store_dir)
+            executors[tag] = ShardedSweepExecutor(store, block_size=block_size)
+
+        def one_sweep(tag: str) -> float:
+            fresh = [np.array(f, copy=True) for f in factors]
+            start = perf_counter()
+            executors[tag].update_factor_mode(fresh, core, 0, regularization)
+            seconds = perf_counter() - start
+            results[tag] = fresh[0]
+            return seconds
+
+        # One untimed warm-up each (page cache, lazy imports), then
+        # interleaved best-of timing so drift hits both paths alike.
+        one_sweep("narrow")
+        one_sweep("wide")
+        for _ in range(max(1, repeats)):
+            for tag in ("narrow", "wide"):
+                best[tag] = min(best[tag], one_sweep(tag))
+    row["seconds_sweep_narrow"] = best["narrow"]
+    row["seconds_sweep_wide"] = best["wide"]
+    row["index_bytes_ratio_wide_over_narrow"] = (
+        row["index_bytes_per_nnz_wide"]
+        / max(row["index_bytes_per_nnz_narrow"], 1e-12)
+    )
+    row["narrow_equals_wide"] = bool(
+        np.array_equal(results["narrow"], results["wide"])
+    )
     return row
 
 
@@ -732,6 +817,7 @@ def run_microbench(
         row.update(
             _bench_sharded_vs_incore(tensor, factors, core, repeats)
         )
+        row.update(_bench_index_dtype(tensor, factors, core, repeats))
         row.update(_bench_ingest(tensor, repeats))
         rows.append(row)
     return {

@@ -113,8 +113,10 @@ def error_and_loss_stream(
     contractor = make_value_contractor(factors, core, expected_entries)
     squared = 0.0
     for indices_block, values_block in blocks:
+        # The contractor consumes narrow columnar blocks directly; forcing
+        # ndarray here would widen every streamed block to int64.
         res = np.asarray(values_block, dtype=np.float64) - contractor(
-            np.asarray(indices_block)
+            indices_block
         )
         squared += float(np.sum(res * res))
     penalty = (

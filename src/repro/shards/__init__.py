@@ -7,10 +7,15 @@ disjoint row ranges.  This package provides the two pieces:
 
 * :class:`~repro.shards.store.ShardStore` — converts a
   :class:`~repro.tensor.coo.SparseTensor` into per-mode, mode-sorted,
-  memory-mapped COO shards on disk (``.npy`` index/value blocks plus a
-  JSON manifest recording per-shard entry ranges, row ranges and segment
-  offsets; the layout is documented in the :mod:`~repro.shards.store`
-  docstring and in ``docs/ARCHITECTURE.md``).
+  memory-mapped COO shards on disk (format v2: one narrow ``.npy`` file
+  per index column — ``uint8``/``uint16``/``uint32``/``int64`` by mode
+  dimension — plus float64 values and a JSON manifest recording column
+  dtypes, per-shard entry ranges, row ranges and segment offsets; the
+  layout is documented in the :mod:`~repro.shards.store` docstring and in
+  ``docs/ARCHITECTURE.md``).  Blocks read back as zero-copy narrow
+  :class:`~repro.columns.IndexColumns` that every kernel backend consumes
+  without widening.  Retired v1 directories are migrated by
+  :func:`~repro.shards.legacy.migrate_v1_store` (CLI ``shards-migrate``).
 * :class:`~repro.shards.executor.ShardedSweepExecutor` — streams the
   shards one block at a time, runs each block through any registered
   kernel backend (``numpy`` / ``threaded`` / ``numba`` / ``auto``), and
@@ -42,20 +47,26 @@ from .store import (
     DEFAULT_SHARD_NNZ,
     FORMAT_NAME,
     FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
     MANIFEST_NAME,
     ShardInfo,
     ShardStore,
 )
 from .executor import ShardedSweepExecutor
+from .legacy import V1StoreReader, is_v1_store, migrate_v1_store
 from .merge import streaming_build
 
 __all__ = [
     "DEFAULT_SHARD_NNZ",
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "LEGACY_FORMAT_VERSION",
     "MANIFEST_NAME",
     "ShardInfo",
     "ShardStore",
     "ShardedSweepExecutor",
+    "V1StoreReader",
+    "is_v1_store",
+    "migrate_v1_store",
     "streaming_build",
 ]

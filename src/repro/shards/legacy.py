@@ -1,0 +1,268 @@
+"""Reading and migrating retired version-1 shard stores.
+
+Format v1 stored each shard as one ``(m, N)`` int64 index matrix
+(``shardNNNN.indices.npy``) next to its float64 values.  Version 2 replaced
+the matrix with narrow per-column files, and :meth:`ShardStore.open
+<repro.shards.store.ShardStore.open>` refuses v1 directories with a
+migration hint.  This module is where those hints lead:
+
+* :class:`V1StoreReader` exposes a v1 directory through the chunked
+  entry-reader protocol of :mod:`repro.tensor.io` (``shape`` +
+  ``iter_entry_chunks``), streaming the mode-0 shards straight off their
+  memory maps — so ``python -m repro ingest <v1-dir> --out <new>``
+  re-shards old data with bounded memory.
+* :func:`migrate_v1_store` rewrites a v1 directory into a v2 one
+  **without re-sorting**: v1 shards are already mode-sorted with exactly
+  the boundaries v2 uses, so each int64 matrix is simply split into
+  narrow column files, one bounded slice at a time, and the v1
+  fingerprint and segmentation arrays carry over verbatim.  This backs
+  the ``shards-migrate`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..columns import check_index_dtype_policy, index_dtypes_for_shape
+from ..exceptions import DataFormatError, ShapeError
+from .merge import _npy_header
+from .store import (
+    FORMAT_NAME,
+    LEGACY_FORMAT_VERSION,
+    MANIFEST_NAME,
+    ShardStore,
+    _manifest_payload,
+    _mode_dir,
+    _mode_shards_json,
+    _write_manifest,
+)
+
+#: Entries converted per slice during migration (bounds the RAM of one copy).
+MIGRATE_BLOCK_NNZ = 262_144
+
+
+def _load_v1_manifest(directory: str) -> Dict[str, object]:
+    """Parse and sanity-check a version-1 manifest."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise DataFormatError(
+            f"{directory}: no {MANIFEST_NAME}; not a shard store"
+        ) from None
+    except ValueError as exc:
+        raise DataFormatError(f"{path}: invalid JSON: {exc}") from exc
+    if manifest.get("format") != FORMAT_NAME:
+        raise DataFormatError(
+            f"{directory}: not a shard store "
+            f"(format={manifest.get('format')!r})"
+        )
+    version = int(manifest.get("version", -1))
+    if version != LEGACY_FORMAT_VERSION:
+        raise DataFormatError(
+            f"{directory}: expected a version-{LEGACY_FORMAT_VERSION} store, "
+            f"found version {version}"
+        )
+    return manifest
+
+
+def is_v1_store(directory: str) -> bool:
+    """True when ``directory`` holds a readable version-1 manifest."""
+    try:
+        _load_v1_manifest(os.fspath(directory))
+    except DataFormatError:
+        return False
+    return True
+
+
+class V1StoreReader:
+    """Chunked entry reader over a retired version-1 shard directory.
+
+    Streams the store's canonical (mode-0 sorted) entry sequence as
+    int64/float64 chunks of at most ``chunk_nnz`` entries, reading each
+    shard through its memory map — peak memory is bounded by the chunk,
+    never by nnz.  Plugs straight into
+    :meth:`~repro.shards.store.ShardStore.build_streaming` and the CLI
+    ``ingest`` command.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.fspath(directory)
+        manifest = _load_v1_manifest(self.directory)
+        try:
+            self.shape: Tuple[int, ...] = tuple(
+                int(s) for s in manifest["shape"]
+            )
+            self.nnz: int = int(manifest["nnz"])
+            self.shard_nnz: int = int(manifest["shard_nnz"])
+            self.fingerprint: Dict[str, object] = dict(
+                manifest.get("fingerprint", {})
+            )
+            self._mode_entries: Dict[int, List[Dict[str, object]]] = {
+                int(entry["mode"]): list(entry["shards"])
+                for entry in manifest["modes"]
+            }
+            if 0 not in self._mode_entries:
+                raise KeyError("mode 0")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataFormatError(
+                f"{self.directory}: malformed v1 manifest: {exc}"
+            ) from exc
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes."""
+        return len(self.shape)
+
+    def _mode_shards(self, mode: int) -> List[Dict[str, object]]:
+        try:
+            return self._mode_entries[mode]
+        except KeyError:
+            raise DataFormatError(
+                f"{self.directory}: v1 manifest lists no mode {mode}"
+            ) from None
+
+    def iter_mode_shard_arrays(
+        self, mode: int
+    ) -> Iterator[Tuple[Dict[str, object], np.ndarray, np.ndarray]]:
+        """Yield ``(shard_json, indices_mmap, values_mmap)`` per v1 shard."""
+        for shard in self._mode_shards(mode):
+            try:
+                indices = np.load(
+                    os.path.join(self.directory, str(shard["indices"])),
+                    mmap_mode="r",
+                )
+                values = np.load(
+                    os.path.join(self.directory, str(shard["values"])),
+                    mmap_mode="r",
+                )
+            except (OSError, ValueError, KeyError) as exc:
+                raise DataFormatError(
+                    f"{self.directory}: cannot map v1 shard: {exc}"
+                ) from exc
+            yield shard, indices, values
+
+    def iter_entry_chunks(
+        self, chunk_nnz: int = 500_000
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(indices, values)`` pairs of at most ``chunk_nnz`` entries."""
+        if chunk_nnz < 1:
+            raise ShapeError("chunk_nnz must be positive")
+        for _, indices, values in self.iter_mode_shard_arrays(0):
+            for start in range(0, values.shape[0], chunk_nnz):
+                stop = start + chunk_nnz
+                yield (
+                    np.ascontiguousarray(indices[start:stop], dtype=np.int64),
+                    np.ascontiguousarray(values[start:stop], dtype=np.float64),
+                )
+
+
+def migrate_v1_store(
+    source_dir: str,
+    target_dir: str,
+    index_dtype: str = "auto",
+) -> ShardStore:
+    """Rewrite a version-1 store as a version-2 store, in bounded memory.
+
+    v1 shards already hold the mode-sorted entries at exactly the
+    boundaries v2 uses (both versions cut at multiples of ``shard_nnz``),
+    so no sorting happens: each v1 int64 index matrix is split into narrow
+    per-column files in slices of :data:`MIGRATE_BLOCK_NNZ` entries, the
+    value files and segmentation arrays are copied, and the v1 fingerprint
+    carries over — a follow-up :meth:`ShardStore.matches
+    <repro.shards.store.ShardStore.matches>` against the original tensor
+    still succeeds.  Peak memory is one slice of one shard, regardless of
+    store size.  ``target_dir`` must differ from ``source_dir`` (the
+    rewrite is not atomic in place).
+    """
+    check_index_dtype_policy(index_dtype)
+    source_dir = os.fspath(source_dir)
+    target_dir = os.fspath(target_dir)
+    if os.path.abspath(source_dir) == os.path.abspath(target_dir):
+        raise ShapeError(
+            "shards-migrate writes a new directory; --out must differ from "
+            "the v1 store path"
+        )
+    reader = V1StoreReader(source_dir)
+    shape = reader.shape
+    order = reader.order
+    column_dtypes = index_dtypes_for_shape(shape, index_dtype)
+    os.makedirs(target_dir, exist_ok=True)
+
+    modes_json: List[Dict[str, object]] = []
+    for mode in range(order):
+        source_mode_dir = os.path.join(source_dir, _mode_dir(mode))
+        target_mode_dir = os.path.join(target_dir, _mode_dir(mode))
+        if os.path.isdir(target_mode_dir):
+            shutil.rmtree(target_mode_dir)
+        os.makedirs(target_mode_dir)
+        for name in ("row_ids.npy", "row_starts.npy", "row_counts.npy"):
+            try:
+                shutil.copyfile(
+                    os.path.join(source_mode_dir, name),
+                    os.path.join(target_mode_dir, name),
+                )
+            except OSError as exc:
+                raise DataFormatError(
+                    f"{source_dir}: cannot read mode-{mode} segmentation: "
+                    f"{exc}"
+                ) from exc
+        row_ids = np.load(os.path.join(target_mode_dir, "row_ids.npy"))
+        row_starts = np.load(os.path.join(target_mode_dir, "row_starts.npy"))
+
+        shards_json = _mode_shards_json(
+            mode, reader.nnz, reader.shard_nnz, order, row_ids, row_starts
+        )
+        n_v1_shards = len(reader._mode_shards(mode))
+        if n_v1_shards != len(shards_json):
+            raise DataFormatError(
+                f"{source_dir}: mode {mode} lists {n_v1_shards} v1 "
+                f"shards where the layout implies {len(shards_json)}"
+            )
+        # Shards are mapped lazily, one at a time, so descriptor usage
+        # stays constant no matter how many shards the store holds (the
+        # generator's maps are released as each iteration completes).
+        for shard_json, (v1_shard, indices_mm, values_mm) in zip(
+            shards_json, reader.iter_mode_shard_arrays(mode)
+        ):
+            n_entries = int(shard_json["stop"]) - int(shard_json["start"])
+            if indices_mm.shape != (n_entries, order):
+                raise DataFormatError(
+                    f"{source_dir}: v1 shard {v1_shard.get('indices')!r} has "
+                    f"shape {indices_mm.shape}, expected "
+                    f"({n_entries}, {order})"
+                )
+            for k, column_path in enumerate(shard_json["columns"]):
+                target_path = os.path.join(target_dir, str(column_path))
+                with open(target_path, "wb") as handle:
+                    _npy_header(handle, (n_entries,), column_dtypes[k])
+                    for start in range(0, n_entries, MIGRATE_BLOCK_NNZ):
+                        stop = min(start + MIGRATE_BLOCK_NNZ, n_entries)
+                        handle.write(
+                            np.ascontiguousarray(
+                                indices_mm[start:stop, k],
+                                dtype=column_dtypes[k],
+                            ).tobytes()
+                        )
+            shutil.copyfile(
+                os.path.join(source_dir, str(v1_shard["values"])),
+                os.path.join(target_dir, str(shard_json["values"])),
+            )
+        modes_json.append({"mode": mode, "shards": shards_json})
+
+    manifest = _manifest_payload(
+        shape,
+        reader.nnz,
+        reader.shard_nnz,
+        index_dtype,
+        reader.fingerprint,
+        modes_json,
+    )
+    _write_manifest(target_dir, manifest)
+    return ShardStore(target_dir, manifest)

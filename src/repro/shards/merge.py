@@ -5,38 +5,47 @@
 :class:`~repro.shards.store.ShardStore` without ever materialising the
 tensor.  It is the out-of-core counterpart of
 :meth:`~repro.shards.store.ShardStore.build` and produces **bitwise
-identical** output — same shard ``.npy`` files, same segmentation arrays,
-same manifest (including the SHA-256 entry fingerprint) — which the
-equivalence tests assert file by file.
+identical** output — same columnar shard ``.npy`` files, same segmentation
+arrays, same manifest (including the SHA-256 entry fingerprint) — which
+the equivalence tests assert file by file.
 
 The classic two-phase external sort, once per mode:
 
-1. *Spill.*  Each chunk of at most ``chunk_nnz`` entries is stably sorted
-   by the mode's index column in RAM and written to a *run* — three
-   ``.npy`` files under ``<dir>/.ingest-tmp/mode<n>/``: the sorted index
-   block, the sorted values, and the entries' original positions in the
-   input order.  Because the chunk sort is stable and positions within a
-   chunk are increasing, every run is sorted by the compound key
-   ``(mode index, original position)`` — the exact ordering of the stable
-   ``argsort`` the in-RAM build uses.
+1. *Spill.*  Each chunk of at most ``chunk_nnz`` entries is narrowed to
+   per-mode columns (each in the smallest dtype admitting the chunk's own
+   maxima — see :func:`repro.columns.index_dtype_for_max`), stably sorted
+   by the mode's column in RAM and written to a *run* — per-column ``.npy``
+   files under ``<dir>/.ingest-tmp/mode<n>/`` plus the sorted values and
+   the entries' original positions in the input order.  Operating on the
+   narrow columns directly shrinks both the spill bytes on disk and the
+   peak RAM of the sort's gathers.  On multicore hosts the per-mode
+   argsort + spill of one chunk runs on a small thread pool (NumPy's sort
+   and the file writes release the GIL); each mode writes disjoint files,
+   so the output is identical to the serial order — ``REPRO_SPILL_WORKERS=1``
+   forces the serial path, which the tests pin.  Because the chunk sort is
+   stable and positions within a chunk are increasing, every run is sorted
+   by the compound key ``(mode index, original position)`` — the exact
+   ordering of the stable ``argsort`` the in-RAM build uses.
 2. *Merge.*  A heap over the run cursors pops the run with the smallest
    head key; a galloping ``searchsorted`` finds how far that run can emit
    before the next run's head key intervenes, so entries move in blocks,
-   not one at a time.  Emitted blocks stream straight into the shard
-   ``.npy`` files (headers written up front — every shard's size is known
-   from ``nnz`` and ``shard_nnz``) while the row segmentation accumulates
-   on the fly.  When the spill produced more than :data:`MAX_OPEN_RUNS`
-   runs, the merge *cascades* first — groups of runs are merged into
-   longer intermediate runs until one pass fits — so open file
-   descriptors stay bounded regardless of tensor size.
+   not one at a time.  Emitted blocks stream straight into the columnar
+   shard ``.npy`` files (headers written up front — every shard's size is
+   known from ``nnz`` and ``shard_nnz``), cast per block from the run's
+   chunk-local dtype to the final per-column dtype of the store's shape,
+   while the row segmentation accumulates on the fly.  When the spill
+   produced more than :data:`MAX_OPEN_RUNS` runs, the merge *cascades*
+   first — groups of runs are merged into longer intermediate runs until
+   one pass fits — so open file descriptors stay bounded regardless of
+   tensor size.
 
 While spilling, the ingest pass also accumulates everything the manifest
-fingerprint needs: the SHA-256 digest over the index bytes (value bytes are
-streamed into the digest afterwards from the value spill, preserving the
-``indices-then-values`` digest order of ``ShardStore.build``), the integer
-index sum, per-mode maxima for shape inference, and the value spill itself,
-whose memory-map yields the same pairwise-summed ``values_sum`` NumPy
-computes over an in-RAM array.
+fingerprint needs: the SHA-256 digest over the canonical int64 index bytes
+(value bytes are streamed into the digest afterwards from the value spill,
+preserving the ``indices-then-values`` digest order of
+``ShardStore.build``), the integer index sum, per-mode maxima for shape
+inference, and the value spill itself, whose memory-map yields the same
+pairwise-summed ``values_sum`` NumPy computes over an in-RAM array.
 
 Peak memory is O(``chunk_nnz``) plus the segmentation arrays (one entry
 per distinct row id); disk usage during the build is roughly twice the
@@ -50,10 +59,16 @@ import hashlib
 import heapq
 import os
 import shutil
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..columns import (
+    check_index_dtype_policy,
+    index_dtype_for_max,
+    index_dtypes_for_shape,
+)
 from ..exceptions import DataFormatError, ShapeError
 from ..tensor.io import DEFAULT_CHUNK_NNZ
 from .store import (
@@ -70,12 +85,29 @@ INGEST_TMP_DIR = ".ingest-tmp"
 #: Entries copied per merge emission (bounds the RAM of one emit).
 MERGE_BLOCK_NNZ = 65_536
 
-#: Runs merged simultaneously.  Every open run holds three memory-mapped
-#: files (and their descriptors), so huge tensors — millions of entries
-#: per chunk times thousands of chunks — must not map every run at once;
-#: above this fan-in the merge cascades: groups of this many runs are
-#: merged into longer runs first, repeating until one pass fits.
+#: Runs merged simultaneously.  Every open run holds ``order + 2``
+#: memory-mapped files (and their descriptors), so huge tensors — millions
+#: of entries per chunk times thousands of chunks — must not map every run
+#: at once; above this fan-in the merge cascades: groups of this many runs
+#: are merged into longer runs first, repeating until one pass fits.
 MAX_OPEN_RUNS = 128
+
+
+def spill_workers() -> int:
+    """Threads used for one chunk's per-mode spill sorts.
+
+    ``REPRO_SPILL_WORKERS`` overrides (1 forces the serial path — the
+    tests pin it); the default is the CPU count.  The pool is created
+    lazily once the stream's order is known, capped at one thread per
+    mode since one spill task exists per mode.
+    """
+    env = os.environ.get("REPRO_SPILL_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 def _npy_header(handle, shape: Tuple[int, ...], dtype) -> None:
@@ -91,69 +123,83 @@ def _npy_header(handle, shape: Tuple[int, ...], dtype) -> None:
 
 
 class _ShardSeriesWriter:
-    """Streams one mode's merged entries into its shard ``.npy`` files.
+    """Streams one mode's merged entries into its columnar shard files.
 
     Shard boundaries depend only on ``nnz`` and ``shard_nnz``, so every
     shard's exact size is known before the first entry arrives; headers are
-    written up front and raw C-order bytes appended, which reproduces
-    ``numpy.save`` output byte for byte.
+    written up front and raw C-order bytes appended — per column, in the
+    store's final narrow dtypes — which reproduces ``numpy.save`` output
+    byte for byte.
     """
 
     def __init__(
-        self, directory: str, mode: int, nnz: int, order: int, shard_nnz: int
+        self,
+        directory: str,
+        mode: int,
+        nnz: int,
+        column_dtypes: Sequence[np.dtype],
+        shard_nnz: int,
     ) -> None:
         self.directory = directory
         self.mode = mode
         self.nnz = nnz
-        self.order = order
+        self.column_dtypes = tuple(np.dtype(d) for d in column_dtypes)
         self.shard_nnz = shard_nnz
         self.shard_no = 0
         self.filled = 0  # entries written into the current shard
-        self._indices_handle = None
+        self._column_handles: Optional[List] = None
         self._values_handle = None
 
     def _open_next(self) -> None:
         stem = f"shard{self.shard_no:04d}"
         size = min(self.shard_nnz, self.nnz - self.shard_no * self.shard_nnz)
         mode_dir = os.path.join(self.directory, _mode_dir(self.mode))
-        self._indices_handle = open(
-            os.path.join(mode_dir, stem + ".indices.npy"), "wb"
-        )
-        _npy_header(self._indices_handle, (size, self.order), np.int64)
+        self._column_handles = []
+        for k, dtype in enumerate(self.column_dtypes):
+            handle = open(os.path.join(mode_dir, f"{stem}.col{k}.npy"), "wb")
+            _npy_header(handle, (size,), dtype)
+            self._column_handles.append(handle)
         self._values_handle = open(
             os.path.join(mode_dir, stem + ".values.npy"), "wb"
         )
         _npy_header(self._values_handle, (size,), np.float64)
         self._capacity = size
 
-    def write(self, indices: np.ndarray, values: np.ndarray) -> None:
+    def write(
+        self, columns: Sequence[np.ndarray], values: np.ndarray
+    ) -> None:
         """Append a merged block, cutting shard files at their boundaries."""
         offset = 0
-        total = indices.shape[0]
+        total = values.shape[0]
         while offset < total:
-            if self._indices_handle is None:
+            if self._column_handles is None:
                 self._open_next()
             take = min(self._capacity - self.filled, total - offset)
             piece = slice(offset, offset + take)
-            self._indices_handle.write(
-                np.ascontiguousarray(indices[piece], dtype=np.int64).tobytes()
-            )
+            for k, handle in enumerate(self._column_handles):
+                handle.write(
+                    np.ascontiguousarray(
+                        columns[k][piece], dtype=self.column_dtypes[k]
+                    ).tobytes()
+                )
             self._values_handle.write(
                 np.ascontiguousarray(values[piece], dtype=np.float64).tobytes()
             )
             self.filled += take
             offset += take
             if self.filled == self._capacity:
-                self._indices_handle.close()
+                for handle in self._column_handles:
+                    handle.close()
                 self._values_handle.close()
-                self._indices_handle = None
+                self._column_handles = None
                 self._values_handle = None
                 self.shard_no += 1
                 self.filled = 0
 
     def close(self) -> None:
-        if self._indices_handle is not None:  # pragma: no cover - defensive
-            self._indices_handle.close()
+        if self._column_handles is not None:  # pragma: no cover - defensive
+            for handle in self._column_handles:
+                handle.close()
             self._values_handle.close()
             raise DataFormatError(
                 f"mode {self.mode}: merge ended mid-shard "
@@ -217,9 +263,11 @@ class _IngestState:
         tmp_dir: str,
         shape: Optional[Sequence[int]],
         chunk_nnz: int = MERGE_BLOCK_NNZ,
+        index_dtype: str = "auto",
     ) -> None:
         self.tmp_dir = tmp_dir
         self.chunk_nnz = int(chunk_nnz)
+        self.index_dtype = check_index_dtype_policy(index_dtype)
         self.declared_shape = (
             tuple(int(s) for s in shape) if shape is not None else None
         )
@@ -232,26 +280,80 @@ class _IngestState:
         self.digest = hashlib.sha256()
         self.run_count = 0
         self.values_spill_path = os.path.join(tmp_dir, "values.f8")
+        self.max_spill_workers = 1
+        self.pool: Optional[ThreadPoolExecutor] = None
+        self._pool_started = False
+
+    def spill_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The per-build spill pool, created once the order is known.
+
+        Capped at one thread per mode (one spill task exists per mode);
+        ``None`` — the serial path — when a single worker would result.
+        """
+        if not self._pool_started:
+            self._pool_started = True
+            n_workers = min(self.max_spill_workers, self.order or 1)
+            if n_workers > 1:
+                self.pool = ThreadPoolExecutor(
+                    max_workers=n_workers, thread_name_prefix="repro-spill"
+                )
+        return self.pool
 
     def shape(self) -> Tuple[int, ...]:
         if self.declared_shape is not None:
             return self.declared_shape
         return tuple(int(m) + 1 for m in self.maxima)
 
+    def column_dtypes(self) -> Tuple[np.dtype, ...]:
+        """Final per-column dtypes (known once ingest has seen every entry)."""
+        return index_dtypes_for_shape(self.shape(), self.index_dtype)
+
 
 def _spill_chunk(
     state: _IngestState, indices: np.ndarray, values: np.ndarray
 ) -> None:
-    """Sort one chunk per mode and write its runs (plus the value spill)."""
+    """Sort one chunk per mode and write its runs (plus the value spill).
+
+    The chunk's columns are narrowed first (each to the smallest dtype
+    admitting the chunk's own maxima — the store's final shape may not be
+    known yet), then each mode's stable argsort, narrow gathers and file
+    writes run as one task; with more than one spill worker the per-mode
+    tasks overlap on a thread pool.  A stable argsort of a narrow column
+    equals the stable argsort of the int64 column value for value, so the
+    runs are identical to the serial wide spill's, byte order aside.
+    """
     base = state.nnz
     run = state.run_count
-    for mode in range(state.order):
-        perm = np.argsort(indices[:, mode], kind="stable")
+    if state.index_dtype == "wide":
+        columns = [
+            np.ascontiguousarray(indices[:, k]) for k in range(state.order)
+        ]
+    else:
+        columns = [
+            np.ascontiguousarray(
+                indices[:, k],
+                dtype=index_dtype_for_max(int(indices[:, k].max())),
+            )
+            for k in range(state.order)
+        ]
+
+    def spill_mode(mode: int) -> None:
+        perm = np.argsort(columns[mode], kind="stable")
         mode_tmp = os.path.join(state.tmp_dir, _mode_dir(mode))
         stem = os.path.join(mode_tmp, f"run{run:06d}")
-        np.save(stem + ".indices.npy", indices[perm])
+        for k in range(state.order):
+            np.save(f"{stem}.col{k}.npy", columns[k][perm])
         np.save(stem + ".values.npy", values[perm])
         np.save(stem + ".positions.npy", base + perm)
+
+    pool = state.spill_pool()
+    if pool is not None:
+        # One task per mode; modes write disjoint files, so the result is
+        # independent of completion order.  list() propagates exceptions.
+        list(pool.map(spill_mode, range(state.order)))
+    else:
+        for mode in range(state.order):
+            spill_mode(mode)
     state.run_count += 1
 
 
@@ -302,31 +404,35 @@ def _ingest(state: _IngestState, source, chunk_nnz: int) -> None:
 
 
 def _iter_merged(runs, mode: int, merge_block: int):
-    """Merge sorted runs; yield ``(indices, values, positions)`` blocks.
+    """Merge sorted runs; yield ``(columns, values, positions)`` blocks.
 
-    ``runs`` are ``(indices, values, positions)`` triples (typically
-    memory maps), each sorted by the compound key
-    ``(indices[:, mode], positions)``.  A heap over the run cursors pops
+    ``runs`` are ``(columns, values, positions)`` triples (``columns`` a
+    tuple of per-mode 1-D maps, possibly in different chunk-local narrow
+    dtypes), each sorted by the compound key
+    ``(columns[mode], positions)``.  A heap over the run cursors pops
     the run with the smallest head key; a galloping ``searchsorted``
     finds how far it can emit before the next run's head intervenes, so
-    entries move in blocks of at most ``merge_block``.
+    entries move in blocks of at most ``merge_block``.  Yielded column
+    slices keep their run's dtype; the consumers cast to the final store
+    dtypes as they write.
     """
     cursors = [0] * len(runs)
     heap = []
-    for run_id, (indices, _, positions) in enumerate(runs):
-        if indices.shape[0]:
+    for run_id, (columns, _, positions) in enumerate(runs):
+        if columns[mode].shape[0]:
             heapq.heappush(
                 heap,
-                (int(indices[0, mode]), int(positions[0]), run_id),
+                (int(columns[mode][0]), int(positions[0]), run_id),
             )
     while heap:
         _, _, run_id = heapq.heappop(heap)
-        indices, values, positions = runs[run_id]
+        columns, values, positions = runs[run_id]
+        mode_column = columns[mode]
         cursor = cursors[run_id]
-        window_stop = min(indices.shape[0], cursor + merge_block)
+        window_stop = min(mode_column.shape[0], cursor + merge_block)
         if heap:
             next_value, next_position, _ = heap[0]
-            column = indices[cursor:window_stop, mode]
+            column = mode_column[cursor:window_stop]
             # Emit every entry with key strictly below the next run's head:
             # all rows below ``next_value``, plus the tied rows whose
             # original position precedes ``next_position``.
@@ -345,23 +451,26 @@ def _iter_merged(runs, mode: int, merge_block: int):
         if stop == cursor:  # pragma: no cover - heap invariant guarantees > 0
             stop = cursor + 1
         yield (
-            np.asarray(indices[cursor:stop], dtype=np.int64),
-            np.asarray(values[cursor:stop], dtype=np.float64),
+            tuple(column[cursor:stop] for column in columns),
+            values[cursor:stop],
             positions[cursor:stop],
         )
         cursors[run_id] = stop
-        if stop < indices.shape[0]:
+        if stop < mode_column.shape[0]:
             heapq.heappush(
                 heap,
-                (int(indices[stop, mode]), int(positions[stop]), run_id),
+                (int(mode_column[stop]), int(positions[stop]), run_id),
             )
 
 
-def _open_runs(stems):
-    """Memory-map the ``(indices, values, positions)`` files of each stem."""
+def _open_runs(stems, order: int):
+    """Memory-map the column/value/position files of each run stem."""
     return [
         (
-            np.load(stem + ".indices.npy", mmap_mode="r"),
+            tuple(
+                np.load(f"{stem}.col{k}.npy", mmap_mode="r")
+                for k in range(order)
+            ),
             np.load(stem + ".values.npy", mmap_mode="r"),
             np.load(stem + ".positions.npy", mmap_mode="r"),
         )
@@ -369,8 +478,10 @@ def _open_runs(stems):
     ]
 
 
-def _delete_run(stem: str) -> None:
-    for suffix in (".indices.npy", ".values.npy", ".positions.npy"):
+def _delete_run(stem: str, order: int) -> None:
+    suffixes = [f".col{k}.npy" for k in range(order)]
+    suffixes += [".values.npy", ".positions.npy"]
+    for suffix in suffixes:
         try:
             os.remove(stem + suffix)
         except OSError:  # pragma: no cover - best-effort cleanup
@@ -386,14 +497,16 @@ def _cascade_runs(
 ) -> List[str]:
     """Merge groups of runs into longer runs until one pass fits ``max_open``.
 
-    Keeps at most ``max_open`` runs (3 memory-mapped files each) open at a
-    time, so descriptor usage stays bounded no matter how many chunks the
-    ingest spilled; each intermediate run is itself sorted by the compound
-    key, so later passes — and the final shard merge — stay bitwise
-    identical to a flat merge.
+    Keeps at most ``max_open`` runs (``order + 2`` memory-mapped files
+    each) open at a time, so descriptor usage stays bounded no matter how
+    many chunks the ingest spilled; each intermediate run is itself sorted
+    by the compound key and written in the store's final column dtypes, so
+    later passes — and the final shard merge — stay bitwise identical to a
+    flat merge.
     """
     if max_open is None:  # read at call time so tests can shrink it
         max_open = MAX_OPEN_RUNS
+    final_dtypes = state.column_dtypes()
     pass_number = 0
     while len(stems) > max_open:
         merged_stems: List[str] = []
@@ -404,25 +517,38 @@ def _cascade_runs(
                 _mode_dir(mode),
                 f"cascade{pass_number:02d}_{group_number:06d}",
             )
-            runs = _open_runs(group)
-            total = sum(run[0].shape[0] for run in runs)
-            with open(out_stem + ".indices.npy", "wb") as indices_out, open(
-                out_stem + ".values.npy", "wb"
-            ) as values_out, open(out_stem + ".positions.npy", "wb") as pos_out:
-                _npy_header(indices_out, (total, state.order), np.int64)
+            runs = _open_runs(group, state.order)
+            total = sum(run[1].shape[0] for run in runs)
+            column_handles = []
+            for k, dtype in enumerate(final_dtypes):
+                handle = open(f"{out_stem}.col{k}.npy", "wb")
+                _npy_header(handle, (total,), dtype)
+                column_handles.append(handle)
+            with open(out_stem + ".values.npy", "wb") as values_out, open(
+                out_stem + ".positions.npy", "wb"
+            ) as pos_out:
                 _npy_header(values_out, (total,), np.float64)
                 _npy_header(pos_out, (total,), np.int64)
-                for indices, values, positions in _iter_merged(
+                for columns, values, positions in _iter_merged(
                     runs, mode, merge_block
                 ):
-                    indices_out.write(indices.tobytes())
-                    values_out.write(values.tobytes())
+                    for k, handle in enumerate(column_handles):
+                        handle.write(
+                            np.ascontiguousarray(
+                                columns[k], dtype=final_dtypes[k]
+                            ).tobytes()
+                        )
+                    values_out.write(
+                        np.ascontiguousarray(values, dtype=np.float64).tobytes()
+                    )
                     pos_out.write(
                         np.ascontiguousarray(positions, dtype=np.int64).tobytes()
                     )
+            for handle in column_handles:
+                handle.close()
             del runs  # close the mappings before deleting their files
             for stem in group:
-                _delete_run(stem)
+                _delete_run(stem, state.order)
             merged_stems.append(out_stem)
         stems = merged_stems
         pass_number += 1
@@ -446,12 +572,14 @@ def _merge_mode(
         for run in range(state.run_count)
     ]
     stems = _cascade_runs(state, mode, stems, merge_block)
-    runs = _open_runs(stems)
-    writer = _ShardSeriesWriter(directory, mode, state.nnz, state.order, shard_nnz)
+    runs = _open_runs(stems, state.order)
+    writer = _ShardSeriesWriter(
+        directory, mode, state.nnz, state.column_dtypes(), shard_nnz
+    )
     segmentation = _SegmentationAccumulator()
-    for block_indices, block_values, _ in _iter_merged(runs, mode, merge_block):
-        writer.write(block_indices, block_values)
-        segmentation.update(block_indices[:, mode])
+    for block_columns, block_values, _ in _iter_merged(runs, mode, merge_block):
+        writer.write(block_columns, block_values)
+        segmentation.update(np.asarray(block_columns[mode]))
     writer.close()
     return segmentation.finish()
 
@@ -462,16 +590,20 @@ def streaming_build(
     shard_nnz: int = DEFAULT_SHARD_NNZ,
     chunk_nnz: Optional[int] = None,
     shape: Optional[Sequence[int]] = None,
+    index_dtype: str = "auto",
 ) -> Dict[str, object]:
     """Build the shard-store layout from a chunked entry source; return its manifest.
 
     See the module docstring for the algorithm and
     :meth:`repro.shards.ShardStore.build_streaming` for the public entry
     point.  ``shape`` (or ``source.shape``) is required only when the
-    source yields no entries; otherwise it is inferred.
+    source yields no entries; otherwise it is inferred.  ``index_dtype``
+    selects the column-dtype policy (``"auto"`` narrow / ``"wide"``
+    int64).
     """
     if shard_nnz < 1:
         raise ShapeError("shard_nnz must be at least 1")
+    check_index_dtype_policy(index_dtype)
     chunk_nnz = DEFAULT_CHUNK_NNZ if chunk_nnz is None else int(chunk_nnz)
     if chunk_nnz < 1:
         raise ShapeError("chunk_nnz must be at least 1")
@@ -483,8 +615,9 @@ def streaming_build(
     if os.path.isdir(tmp_dir):
         shutil.rmtree(tmp_dir)
     os.makedirs(tmp_dir)
+    state = _IngestState(tmp_dir, shape, chunk_nnz, index_dtype)
+    state.max_spill_workers = spill_workers()
     try:
-        state = _IngestState(tmp_dir, shape, chunk_nnz)
         _ingest(state, source, chunk_nnz)
         if state.order is None:
             raise DataFormatError(
@@ -534,7 +667,12 @@ def streaming_build(
                 {
                     "mode": mode,
                     "shards": _mode_shards_json(
-                        mode, state.nnz, shard_nnz, row_ids, row_starts
+                        mode,
+                        state.nnz,
+                        shard_nnz,
+                        state.order,
+                        row_ids,
+                        row_starts,
                     ),
                 }
             )
@@ -544,9 +682,16 @@ def streaming_build(
             )
 
         manifest = _manifest_payload(
-            state.shape(), state.nnz, shard_nnz, fingerprint, modes_json
+            state.shape(),
+            state.nnz,
+            shard_nnz,
+            index_dtype,
+            fingerprint,
+            modes_json,
         )
         _write_manifest(directory, manifest)
         return manifest
     finally:
+        if state.pool is not None:
+            state.pool.shutdown()
         shutil.rmtree(tmp_dir, ignore_errors=True)

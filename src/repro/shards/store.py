@@ -5,10 +5,15 @@ A :class:`ShardStore` is the out-of-core representation of a
 entries are stably sorted by their mode-``n`` index — exactly the ordering
 :func:`~repro.core.row_update.build_mode_context` produces in RAM — and the
 sorted sequence is cut into consecutive *shards* of at most ``shard_nnz``
-entries, each written as a pair of ``.npy`` files (an ``(m, N)`` int64 index
-block and an ``(m,)`` float64 value block).  Reads go through
-``numpy.load(..., mmap_mode="r")``, so a sweep only ever pages in the block
-it is currently contracting; the nnz-sized sorted index/value copies that a
+entries.  **Format v2** stores each shard *columnar*: one ``.npy`` file per
+index column, each in the narrowest unsigned dtype its mode dimension
+admits (``uint8`` / ``uint16`` / ``uint32``, ``int64`` beyond 2**32 — see
+:func:`repro.columns.index_dtype_for_dim`), plus one float64 value file.
+At typical dimensions that is 3-8x fewer index bytes than the v1 int64
+matrix, on disk and on the wire alike.  Reads go through
+``numpy.load(..., mmap_mode="r")`` and surface as zero-copy narrow
+:class:`~repro.columns.IndexColumns` blocks, which every kernel backend
+consumes without widening; the nnz-sized sorted index/value copies that a
 :class:`~repro.core.row_update.ModeContext` keeps in RAM never exist.
 
 Directory layout::
@@ -17,27 +22,39 @@ Directory layout::
     <dir>/mode0/row_ids.npy       # distinct mode-0 indices with entries
     <dir>/mode0/row_starts.npy    # global start offset of each row segment
     <dir>/mode0/row_counts.npy    # |Omega_in| per listed row
-    <dir>/mode0/shard0000.indices.npy
+    <dir>/mode0/shard0000.col0.npy     # mode-0 indices of the shard's entries
+    <dir>/mode0/shard0000.col1.npy     # ... one narrow file per index column
     <dir>/mode0/shard0000.values.npy
     ...                           # one subdirectory per mode
 
-The manifest records, per shard, the global entry range ``[start, stop)``
-it covers in the mode-sorted order, the row range ``[first_row, last_row]``
-its entries touch, and the segment bookkeeping (``segment_offset`` — the
-position in ``row_ids`` of the first row present in the shard,
-``n_segments`` — how many distinct rows appear, and ``continues_segment``
-— whether the first row's segment started in the previous shard).  Shard
-boundaries are *not* snapped to segment boundaries: a row whose segment is
-longer than ``shard_nnz`` simply spans several shards, and the streaming
-executor accumulates its partial normal equations across them, exactly as
-the in-core block loop does for rows that straddle a ``block_size`` chunk.
+The manifest records the per-column index dtypes (identical across modes —
+column ``k`` always holds mode-``k`` indices), the ``index_dtype`` policy
+that chose them (``"auto"`` narrow / ``"wide"`` int64), and, per shard, the
+global entry range ``[start, stop)`` it covers in the mode-sorted order,
+the row range ``[first_row, last_row]`` its entries touch, and the segment
+bookkeeping (``segment_offset`` — the position in ``row_ids`` of the first
+row present in the shard, ``n_segments`` — how many distinct rows appear,
+and ``continues_segment`` — whether the first row's segment started in the
+previous shard).  Shard boundaries are *not* snapped to segment
+boundaries: a row whose segment is longer than ``shard_nnz`` simply spans
+several shards, and the streaming executor accumulates its partial normal
+equations across them, exactly as the in-core block loop does for rows
+that straddle a ``block_size`` chunk.
 
 Because every shard holds exactly the entries ``sorted[start:stop]`` of the
 in-core mode ordering (ties preserved by the stable sort), any consumer
 that walks the shards with the same block boundaries as the in-core path
 performs bit-for-bit the same floating-point operations; that is what makes
 :class:`~repro.shards.executor.ShardedSweepExecutor` bitwise-equal to the
-in-core sweep.
+in-core sweep.  Narrowing the index dtype never touches a float64, so
+``index_dtype="auto"`` and ``"wide"`` stores produce bitwise-identical
+sweeps too.
+
+Version-1 directories (a single int64 ``shardNNNN.indices.npy`` matrix per
+shard) are no longer opened for compute; :meth:`ShardStore.open` raises a
+:class:`~repro.exceptions.DataFormatError` naming the migration recipe,
+and :mod:`repro.shards.legacy` reads them for ``shards-migrate`` /
+``ingest``.
 """
 
 from __future__ import annotations
@@ -52,6 +69,11 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..columns import (
+    IndexColumns,
+    check_index_dtype_policy,
+    index_dtypes_for_shape,
+)
 from ..exceptions import DataFormatError, ShapeError
 from ..tensor.coo import SparseTensor
 
@@ -61,8 +83,12 @@ MANIFEST_NAME = "manifest.json"
 #: ``format`` field value identifying a shard-store manifest.
 FORMAT_NAME = "repro-shard-store"
 
-#: Current manifest schema version.
-FORMAT_VERSION = 1
+#: Current manifest schema version (2 = narrow columnar index files).
+FORMAT_VERSION = 2
+
+#: The retired schema version (int64 index matrices); readable only through
+#: :mod:`repro.shards.legacy` and the ``shards-migrate`` CLI.
+LEGACY_FORMAT_VERSION = 1
 
 #: Default shard capacity in entries (~32 MB of index+value data at order 3).
 DEFAULT_SHARD_NNZ = 1_000_000
@@ -76,11 +102,25 @@ MMAP_CACHE_SHARDS = 4
 
 
 def _tensor_digest(tensor: SparseTensor) -> str:
-    """SHA-256 over the entry bytes (order-sensitive, collision-proof)."""
+    """SHA-256 over the entry bytes (order-sensitive, collision-proof).
+
+    Always digests the canonical int64/float64 representation, so the
+    fingerprint is independent of the on-disk index dtypes: a narrow and a
+    wide store of the same tensor carry the same digest.
+    """
     digest = hashlib.sha256()
     digest.update(np.ascontiguousarray(tensor.indices, dtype=np.int64).tobytes())
     digest.update(np.ascontiguousarray(tensor.values, dtype=np.float64).tobytes())
     return digest.hexdigest()
+
+
+def migration_hint(directory: str) -> str:
+    """The one-line v1 -> v2 recipe quoted in version-mismatch errors."""
+    return (
+        f"rewrite it with `python -m repro shards-migrate {directory} "
+        f"--out <new-dir>` (bounded memory), or re-shard the data with "
+        f"`python -m repro ingest {directory} --out <new-dir>`"
+    )
 
 
 @dataclass(frozen=True)
@@ -89,8 +129,11 @@ class ShardInfo:
 
     Attributes
     ----------
-    indices_path / values_path:
-        Paths of the ``.npy`` blocks, relative to the store directory.
+    column_paths:
+        Paths of the per-column index ``.npy`` files (one per mode, in
+        mode order), relative to the store directory.
+    values_path:
+        Path of the float64 value ``.npy`` block.
     start / stop:
         Global entry range ``[start, stop)`` the shard covers inside the
         mode-sorted order.
@@ -105,7 +148,7 @@ class ShardInfo:
         shard boundary split a row's entries).
     """
 
-    indices_path: str
+    column_paths: Tuple[str, ...]
     values_path: str
     start: int
     stop: int
@@ -123,7 +166,7 @@ class ShardInfo:
     def to_json(self) -> Dict[str, object]:
         """The manifest entry for this shard."""
         return {
-            "indices": self.indices_path,
+            "columns": list(self.column_paths),
             "values": self.values_path,
             "start": self.start,
             "stop": self.stop,
@@ -139,7 +182,7 @@ class ShardInfo:
         try:
             rows = payload["rows"]
             return cls(
-                indices_path=str(payload["indices"]),
+                column_paths=tuple(str(p) for p in payload["columns"]),
                 values_path=str(payload["values"]),
                 start=int(payload["start"]),
                 stop=int(payload["stop"]),
@@ -157,10 +200,15 @@ def _mode_dir(mode: int) -> str:
     return f"mode{mode}"
 
 
+def _shard_stem(mode: int, number: int) -> str:
+    return os.path.join(_mode_dir(mode), f"shard{number:04d}")
+
+
 def _mode_shards_json(
     mode: int,
     nnz: int,
     shard_nnz: int,
+    order: int,
     row_ids: np.ndarray,
     row_starts: np.ndarray,
 ) -> List[Dict[str, object]]:
@@ -174,7 +222,7 @@ def _mode_shards_json(
     shards: List[Dict[str, object]] = []
     for number, start in enumerate(range(0, nnz, shard_nnz)):
         stop = min(start + shard_nnz, nnz)
-        stem = f"shard{number:04d}"
+        stem = _shard_stem(mode, number)
         # Rows overlapping [start, stop): the row owning entry ``start`` is
         # the last one starting at or before it.
         seg_lo = int(np.searchsorted(row_starts, start, side="right")) - 1
@@ -182,8 +230,10 @@ def _mode_shards_json(
         last_seg = int(np.searchsorted(row_starts, stop - 1, side="right")) - 1
         shards.append(
             ShardInfo(
-                indices_path=os.path.join(_mode_dir(mode), stem + ".indices.npy"),
-                values_path=os.path.join(_mode_dir(mode), stem + ".values.npy"),
+                column_paths=tuple(
+                    f"{stem}.col{k}.npy" for k in range(order)
+                ),
+                values_path=stem + ".values.npy",
                 start=start,
                 stop=stop,
                 first_row=int(row_ids[seg_lo]),
@@ -200,6 +250,7 @@ def _manifest_payload(
     shape: Sequence[int],
     nnz: int,
     shard_nnz: int,
+    index_dtype: str,
     fingerprint: Dict[str, object],
     modes_json: List[Dict[str, object]],
 ) -> Dict[str, object]:
@@ -211,7 +262,13 @@ def _manifest_payload(
         "order": len(shape),
         "nnz": int(nnz),
         "shard_nnz": int(shard_nnz),
-        "dtypes": {"indices": "int64", "values": "float64"},
+        "dtypes": {
+            "index_columns": [
+                str(d) for d in index_dtypes_for_shape(shape, index_dtype)
+            ],
+            "values": "float64",
+            "index_dtype": index_dtype,
+        },
         "fingerprint": fingerprint,
         "modes": modes_json,
     }
@@ -225,7 +282,7 @@ def _write_manifest(directory: str, manifest: Dict[str, object]) -> None:
 
 
 class ShardStore:
-    """Mode-sorted, memory-mapped COO shards of one sparse tensor on disk.
+    """Mode-sorted, memory-mapped columnar COO shards of one sparse tensor.
 
     Build one with :meth:`build` (from an in-RAM tensor) and reopen it later
     with :meth:`open`; :meth:`for_tensor` combines both, reusing an existing
@@ -235,7 +292,9 @@ class ShardStore:
     :meth:`mode_segmentation`, :meth:`read_mode_block`,
     :meth:`gather_mode_entries`), so it can be passed directly as
     ``update_factor_mode(source=...)`` or wrapped in a
-    :class:`~repro.shards.executor.ShardedSweepExecutor`.
+    :class:`~repro.shards.executor.ShardedSweepExecutor`.  Blocks come back
+    as narrow :class:`~repro.columns.IndexColumns`, which every kernel
+    backend consumes without widening.
     """
 
     def __init__(self, directory: str, manifest: Dict[str, object]) -> None:
@@ -243,7 +302,7 @@ class ShardStore:
         self._parse_manifest(manifest)
         self._segmentation: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._shard_starts: Dict[int, np.ndarray] = {}
-        self._mmap_cache: "OrderedDict[str, Tuple[np.ndarray, np.ndarray]]" = (
+        self._mmap_cache: "OrderedDict[str, Tuple[Tuple[np.ndarray, ...], np.ndarray]]" = (
             OrderedDict()
         )
 
@@ -263,6 +322,13 @@ class ShardStore:
                 f"(format={manifest.get('format')!r})"
             )
         version = int(manifest.get("version", -1))
+        if version == LEGACY_FORMAT_VERSION:
+            raise DataFormatError(
+                f"{self.directory}: this is a version-{LEGACY_FORMAT_VERSION} "
+                f"shard store (int64 index matrices); this build reads "
+                f"version {FORMAT_VERSION} (narrow columnar indices) — "
+                + migration_hint(self.directory)
+            )
         if version != FORMAT_VERSION:
             raise DataFormatError(
                 f"{self.directory}: unsupported shard-store version {version} "
@@ -272,11 +338,30 @@ class ShardStore:
             self.shape: Tuple[int, ...] = tuple(int(s) for s in manifest["shape"])
             self.nnz: int = int(manifest["nnz"])
             self.shard_nnz: int = int(manifest["shard_nnz"])
+            dtypes = manifest["dtypes"]
+            self.index_dtype: str = check_index_dtype_policy(
+                str(dtypes["index_dtype"])
+            )
+            self.index_dtypes: Tuple[np.dtype, ...] = tuple(
+                np.dtype(str(name)) for name in dtypes["index_columns"]
+            )
             modes = manifest["modes"]
         except (KeyError, TypeError, ValueError) as exc:
             raise DataFormatError(
                 f"{self.directory}: malformed manifest: {exc}"
             ) from exc
+        if len(self.index_dtypes) != len(self.shape):
+            raise DataFormatError(
+                f"{self.directory}: manifest lists {len(self.index_dtypes)} "
+                f"index dtypes for an order-{len(self.shape)} shape"
+            )
+        expected = index_dtypes_for_shape(self.shape, self.index_dtype)
+        if self.index_dtypes != expected:
+            raise DataFormatError(
+                f"{self.directory}: manifest index dtypes "
+                f"{[str(d) for d in self.index_dtypes]} do not match the "
+                f"{self.index_dtype!r} policy for shape {self.shape}"
+            )
         self.fingerprint: Dict[str, float] = dict(manifest.get("fingerprint", {}))
         if len(modes) != len(self.shape):
             raise DataFormatError(
@@ -295,6 +380,12 @@ class ShardStore:
                         f"{self.directory}: mode {mode} shards are not "
                         f"contiguous at entry {offset}"
                     )
+                if len(shard.column_paths) != len(self.shape):
+                    raise DataFormatError(
+                        f"{self.directory}: mode {mode} shard at entry "
+                        f"{offset} lists {len(shard.column_paths)} index "
+                        f"columns for an order-{len(self.shape)} shape"
+                    )
                 offset = shard.stop
             if offset != self.nnz:
                 raise DataFormatError(
@@ -307,6 +398,11 @@ class ShardStore:
     def order(self) -> int:
         """Number of tensor modes N."""
         return len(self.shape)
+
+    @property
+    def index_bytes_per_entry(self) -> int:
+        """Bytes of index data stored per entry (one set of columns)."""
+        return sum(int(d.itemsize) for d in self.index_dtypes)
 
     def manifest_path(self) -> str:
         """Absolute path of this store's manifest file."""
@@ -322,7 +418,8 @@ class ShardStore:
         n_shards = sum(len(s) for s in self._shards.values())
         return (
             f"ShardStore(dir={self.directory!r}, shape={self.shape}, "
-            f"nnz={self.nnz}, shards={n_shards})"
+            f"nnz={self.nnz}, shards={n_shards}, "
+            f"index_dtype={self.index_dtype!r})"
         )
 
     # ------------------------------------------------------------------
@@ -334,19 +431,24 @@ class ShardStore:
         tensor: SparseTensor,
         directory: str,
         shard_nnz: int = DEFAULT_SHARD_NNZ,
+        index_dtype: str = "auto",
     ) -> "ShardStore":
         """Convert ``tensor`` into a shard store at ``directory``.
 
         For every mode the entries are stably sorted by that mode's index
         (the :class:`~repro.core.row_update.ModeContext` ordering, ties kept
         in the tensor's entry order) and written as consecutive shards of at
-        most ``shard_nnz`` entries.  An existing store in ``directory`` is
-        replaced; unrelated files in the directory are left alone.
+        most ``shard_nnz`` entries, one narrow column file per mode plus
+        the float64 values (``index_dtype="wide"`` keeps int64 columns).
+        An existing store in ``directory`` is replaced; unrelated files in
+        the directory are left alone.
         """
         if shard_nnz < 1:
             raise ShapeError("shard_nnz must be at least 1")
+        check_index_dtype_policy(index_dtype)
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
+        column_dtypes = index_dtypes_for_shape(tensor.shape, index_dtype)
 
         modes_json: List[Dict[str, object]] = []
         for mode in range(tensor.order):
@@ -356,15 +458,17 @@ class ShardStore:
             os.makedirs(mode_dir)
 
             perm = tensor.sort_by_mode(mode)
-            sorted_indices = np.ascontiguousarray(
-                tensor.indices[perm], dtype=np.int64
-            )
+            # Narrow columnar copies of the sorted entries: the int64
+            # matrix gather never happens, so even the build's transient
+            # peak shrinks with the dtypes.
+            sorted_columns = [
+                np.ascontiguousarray(tensor.indices[perm, k], dtype=dtype)
+                for k, dtype in enumerate(column_dtypes)
+            ]
             sorted_values = np.ascontiguousarray(
                 tensor.values[perm], dtype=np.float64
             )
-            mode_column = sorted_indices[:, mode] if tensor.nnz else np.zeros(
-                0, dtype=np.int64
-            )
+            mode_column = sorted_columns[mode]
             row_ids, row_starts, row_counts = np.unique(
                 mode_column, return_index=True, return_counts=True
             )
@@ -376,15 +480,16 @@ class ShardStore:
             np.save(os.path.join(mode_dir, "row_counts.npy"), row_counts)
 
             shards_json = _mode_shards_json(
-                mode, tensor.nnz, shard_nnz, row_ids, row_starts
+                mode, tensor.nnz, shard_nnz, tensor.order, row_ids, row_starts
             )
             for shard_json in shards_json:
                 start = int(shard_json["start"])
                 stop = int(shard_json["stop"])
-                np.save(
-                    os.path.join(directory, str(shard_json["indices"])),
-                    sorted_indices[start:stop],
-                )
+                for k, column_path in enumerate(shard_json["columns"]):
+                    np.save(
+                        os.path.join(directory, str(column_path)),
+                        sorted_columns[k][start:stop],
+                    )
                 np.save(
                     os.path.join(directory, str(shard_json["values"])),
                     sorted_values[start:stop],
@@ -392,13 +497,14 @@ class ShardStore:
             modes_json.append({"mode": mode, "shards": shards_json})
             # Release this mode's cached sort permutation (and the sorted
             # copies) before the next mode doubles the build's peak memory.
-            del perm, sorted_indices, sorted_values, mode_column
+            del perm, sorted_columns, sorted_values, mode_column
             tensor.clear_caches()
 
         manifest = _manifest_payload(
             tensor.shape,
             tensor.nnz,
             shard_nnz,
+            index_dtype,
             {
                 "values_sum": float(np.sum(tensor.values)) if tensor.nnz else 0.0,
                 "indices_sum": int(tensor.indices.sum()) if tensor.nnz else 0,
@@ -417,21 +523,24 @@ class ShardStore:
         shard_nnz: int = DEFAULT_SHARD_NNZ,
         chunk_nnz: Optional[int] = None,
         shape: Optional[Sequence[int]] = None,
+        index_dtype: str = "auto",
     ) -> "ShardStore":
         """Build a shard store from a chunked entry source, out of core.
 
         ``source`` is any reader implementing the entry-chunk protocol of
         :mod:`repro.tensor.io` (``iter_entry_chunks(chunk_nnz)`` plus an
         optional ``shape`` attribute): a text file, ``.npz`` archive,
-        in-RAM tensor or another store.  Entries are spilled to per-mode
-        sorted runs of at most ``chunk_nnz`` entries and k-way merged into
-        the shard layout on disk (see :mod:`repro.shards.merge`), so peak
-        memory is bounded by the chunk size — never by nnz — and the
-        resulting directory is **bitwise-identical** to
-        :meth:`build` on the same entries: same shard files, same
-        manifest, same fingerprint.  ``shape`` overrides the source's own
-        shape; when neither is given it is inferred as max index + 1 per
-        mode, exactly as :func:`repro.tensor.io.load_text` infers it.
+        ``.rcoo`` container, in-RAM tensor or another store.  Entries are
+        spilled to per-mode sorted runs of at most ``chunk_nnz`` entries —
+        already in narrow column dtypes, so spill bytes shrink with the
+        data — and k-way merged into the shard layout on disk (see
+        :mod:`repro.shards.merge`), so peak memory is bounded by the chunk
+        size — never by nnz — and the resulting directory is
+        **bitwise-identical** to :meth:`build` on the same entries: same
+        shard files, same manifest, same fingerprint.  ``shape`` overrides
+        the source's own shape; when neither is given it is inferred as
+        max index + 1 per mode, exactly as
+        :func:`repro.tensor.io.load_text` infers it.
         """
         from .merge import streaming_build
 
@@ -441,12 +550,18 @@ class ShardStore:
             shard_nnz=shard_nnz,
             chunk_nnz=chunk_nnz,
             shape=shape,
+            index_dtype=index_dtype,
         )
         return cls(os.fspath(directory), manifest)
 
     @classmethod
     def open(cls, directory: str) -> "ShardStore":
-        """Open an existing shard store (raises when no manifest is found)."""
+        """Open an existing shard store (raises when no manifest is found).
+
+        A version-1 directory raises a :class:`DataFormatError` whose
+        message names both versions and the one-line re-shard recipe
+        (``shards-migrate`` / ``ingest ... --out``).
+        """
         directory = os.fspath(directory)
         path = os.path.join(directory, MANIFEST_NAME)
         try:
@@ -466,21 +581,32 @@ class ShardStore:
         tensor: SparseTensor,
         directory: str,
         shard_nnz: int = DEFAULT_SHARD_NNZ,
+        index_dtype: str = "auto",
     ) -> "ShardStore":
         """Open ``directory`` if it already shards ``tensor``; build otherwise.
 
         A store is reused when its shape, nnz and entry digest match the
         tensor (see :meth:`matches`) — repeated CLI runs over the same
         dataset then skip the rewrite.  Any mismatch (including a
-        different ``shard_nnz``) triggers a rebuild.
+        different ``shard_nnz`` or ``index_dtype`` policy) triggers a
+        rebuild; a version-1 directory is rebuilt in place.
         """
+        check_index_dtype_policy(index_dtype)
         try:
             store = cls.open(directory)
         except DataFormatError:
-            return cls.build(tensor, directory, shard_nnz=shard_nnz)
-        if store.matches(tensor) and store.shard_nnz == int(shard_nnz):
+            return cls.build(
+                tensor, directory, shard_nnz=shard_nnz, index_dtype=index_dtype
+            )
+        if (
+            store.matches(tensor)
+            and store.shard_nnz == int(shard_nnz)
+            and store.index_dtype == index_dtype
+        ):
             return store
-        return cls.build(tensor, directory, shard_nnz=shard_nnz)
+        return cls.build(
+            tensor, directory, shard_nnz=shard_nnz, index_dtype=index_dtype
+        )
 
     def matches(self, tensor: SparseTensor) -> bool:
         """True when this store was built from exactly ``tensor``.
@@ -537,21 +663,24 @@ class ShardStore:
             )
         return self._shard_starts[mode]
 
-    def _mmap_shard(self, shard: ShardInfo) -> Tuple[np.ndarray, np.ndarray]:
-        """Memory-map one shard's index and value blocks (read-only).
+    def _mmap_shard(
+        self, shard: ShardInfo
+    ) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
+        """Memory-map one shard's column and value files (read-only).
 
         The most recently touched :data:`MMAP_CACHE_SHARDS` maps are kept
         open, so the block loop's repeated visits to the same shard skip
-        the file open and ``.npy`` header parse; older maps are dropped,
+        the file opens and ``.npy`` header parses; older maps are dropped,
         keeping the simultaneously resident file pages bounded.
         """
-        cached = self._mmap_cache.get(shard.indices_path)
+        cached = self._mmap_cache.get(shard.values_path)
         if cached is not None:
-            self._mmap_cache.move_to_end(shard.indices_path)
+            self._mmap_cache.move_to_end(shard.values_path)
             return cached
         try:
-            indices = np.load(
-                os.path.join(self.directory, shard.indices_path), mmap_mode="r"
+            columns = tuple(
+                np.load(os.path.join(self.directory, path), mmap_mode="r")
+                for path in shard.column_paths
             )
             values = np.load(
                 os.path.join(self.directory, shard.values_path), mmap_mode="r"
@@ -559,23 +688,34 @@ class ShardStore:
         except (OSError, ValueError) as exc:
             raise DataFormatError(
                 f"{self.directory}: cannot map shard "
-                f"{shard.indices_path!r}: {exc}"
+                f"{shard.values_path!r}: {exc}"
             ) from exc
-        self._mmap_cache[shard.indices_path] = (indices, values)
+        self._mmap_cache[shard.values_path] = (columns, values)
         while len(self._mmap_cache) > MMAP_CACHE_SHARDS:
             self._mmap_cache.popitem(last=False)
-        return indices, values
+        return columns, values
+
+    def _empty_block(self) -> Tuple[IndexColumns, np.ndarray]:
+        return (
+            IndexColumns(
+                [np.empty(0, dtype=d) for d in self.index_dtypes]
+            ),
+            np.empty(0, dtype=np.float64),
+        )
 
     def read_mode_block(
         self, mode: int, start: int, stop: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[IndexColumns, np.ndarray]:
         """Entries ``[start, stop)`` of the mode-sorted order, as RAM copies.
 
-        The requested range may span shard boundaries; only the touched
-        shards are mapped (through the small LRU of :meth:`_mmap_shard`)
-        and only the requested rows are copied, so resident memory is
-        bounded by the block being read plus at most
-        :data:`MMAP_CACHE_SHARDS` mapped shards — not by nnz.
+        The index part comes back as a narrow
+        :class:`~repro.columns.IndexColumns` — the copies stay in the
+        on-disk dtypes, so a block costs ``index_bytes_per_entry`` per
+        entry instead of ``8 * order``.  The requested range may span
+        shard boundaries; only the touched shards are mapped (through the
+        small LRU of :meth:`_mmap_shard`) and only the requested rows are
+        copied, so resident memory is bounded by the block being read plus
+        at most :data:`MMAP_CACHE_SHARDS` mapped shards — not by nnz.
         """
         if mode not in self._shards:
             raise ShapeError(f"mode {mode} out of range for order {self.order}")
@@ -584,13 +724,12 @@ class ShardStore:
         length = max(0, stop - start)
         shards = self._shards[mode]
         if length == 0 or not shards:
-            return (
-                np.empty((0, self.order), dtype=np.int64),
-                np.empty(0, dtype=np.float64),
-            )
+            return self._empty_block()
         starts = self._starts_of(mode)
         first = int(np.searchsorted(starts, start, side="right")) - 1
-        indices_out = np.empty((length, self.order), dtype=np.int64)
+        columns_out = [
+            np.empty(length, dtype=d) for d in self.index_dtypes
+        ]
         values_out = np.empty(length, dtype=np.float64)
         filled = 0
         for shard in shards[first:]:
@@ -598,15 +737,17 @@ class ShardStore:
                 break
             lo = max(start, shard.start) - shard.start
             hi = min(stop, shard.stop) - shard.start
-            indices_mm, values_mm = self._mmap_shard(shard)
-            indices_out[filled : filled + hi - lo] = indices_mm[lo:hi]
-            values_out[filled : filled + hi - lo] = values_mm[lo:hi]
+            columns_mm, values_mm = self._mmap_shard(shard)
+            out = slice(filled, filled + hi - lo)
+            for k, column_mm in enumerate(columns_mm):
+                columns_out[k][out] = column_mm[lo:hi]
+            values_out[out] = values_mm[lo:hi]
             filled += hi - lo
-        return indices_out, values_out
+        return IndexColumns(columns_out), values_out
 
     def gather_mode_entries(
         self, mode: int, positions: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[IndexColumns, np.ndarray]:
         """Arbitrary entries of the mode-sorted order, by global position.
 
         ``positions`` need not be sorted or contiguous (the process-pool
@@ -615,10 +756,12 @@ class ShardStore:
         once.
         """
         positions = np.asarray(positions, dtype=np.int64)
-        indices_out = np.empty((positions.shape[0], self.order), dtype=np.int64)
+        columns_out = [
+            np.empty(positions.shape[0], dtype=d) for d in self.index_dtypes
+        ]
         values_out = np.empty(positions.shape[0], dtype=np.float64)
         if positions.shape[0] == 0:
-            return indices_out, values_out
+            return IndexColumns(columns_out), values_out
         if positions.min() < 0 or positions.max() >= self.nnz:
             raise ShapeError("entry positions out of range for this store")
         starts = self._starts_of(mode)
@@ -627,14 +770,15 @@ class ShardStore:
             shard = self._shards[mode][int(shard_number)]
             mask = owner == shard_number
             local = positions[mask] - shard.start
-            indices_mm, values_mm = self._mmap_shard(shard)
-            indices_out[mask] = indices_mm[local]
+            columns_mm, values_mm = self._mmap_shard(shard)
+            for k, column_mm in enumerate(columns_mm):
+                columns_out[k][mask] = column_mm[local]
             values_out[mask] = values_mm[local]
-        return indices_out, values_out
+        return IndexColumns(columns_out), values_out
 
     def iter_mode_blocks(
         self, mode: int, block_size: int
-    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    ) -> Iterator[Tuple[IndexColumns, np.ndarray]]:
         """Stream one mode's sorted entries in ``block_size`` chunks."""
         if block_size < 1:
             raise ShapeError("block_size must be positive")
@@ -651,8 +795,8 @@ class ShardStore:
         sequence.  The set of entries equals the tensor the store was built
         from; only the ordering is normalised.
         """
-        indices, values = self.read_mode_block(0, 0, self.nnz)
-        return SparseTensor(indices, values, self.shape)
+        block, values = self.read_mode_block(0, 0, self.nnz)
+        return SparseTensor(block.to_matrix(), values, self.shape)
 
     # ------------------------------------------------------------------
     # Validation
@@ -660,10 +804,10 @@ class ShardStore:
     def validate(self) -> None:
         """Check the on-disk data against the manifest (beyond `open`'s checks).
 
-        Verifies, per mode: every shard file exists with the declared shape
-        and dtype, shard entries really are sorted by the mode index with
-        row ranges matching the manifest, and the row segmentation is
-        consistent with the shard contents.  Raises
+        Verifies, per mode: every shard column/value file exists with the
+        declared shape and dtype, shard entries really are sorted by the
+        mode index with row ranges matching the manifest, and the row
+        segmentation is consistent with the shard contents.  Raises
         :class:`~repro.exceptions.DataFormatError` on the first violation.
         """
         for mode in range(self.order):
@@ -675,22 +819,29 @@ class ShardStore:
                 )
             previous_last = None
             for shard in self._shards[mode]:
-                indices_mm, values_mm = self._mmap_shard(shard)
-                if indices_mm.shape != (shard.nnz, self.order):
-                    raise DataFormatError(
-                        f"{self.directory}: {shard.indices_path} has shape "
-                        f"{indices_mm.shape}, manifest says "
-                        f"({shard.nnz}, {self.order})"
-                    )
+                columns_mm, values_mm = self._mmap_shard(shard)
+                for k, column_mm in enumerate(columns_mm):
+                    if column_mm.shape != (shard.nnz,):
+                        raise DataFormatError(
+                            f"{self.directory}: {shard.column_paths[k]} has "
+                            f"shape {column_mm.shape}, manifest says "
+                            f"({shard.nnz},)"
+                        )
+                    if column_mm.dtype != self.index_dtypes[k]:
+                        raise DataFormatError(
+                            f"{self.directory}: {shard.column_paths[k]} has "
+                            f"dtype {column_mm.dtype}, manifest says "
+                            f"{self.index_dtypes[k]}"
+                        )
                 if values_mm.shape != (shard.nnz,):
                     raise DataFormatError(
                         f"{self.directory}: {shard.values_path} has shape "
                         f"{values_mm.shape}, manifest says ({shard.nnz},)"
                     )
-                column = np.asarray(indices_mm[:, mode])
-                if column.size and np.any(np.diff(column) < 0):
+                column = np.asarray(columns_mm[mode])
+                if column.size and np.any(np.diff(column.astype(np.int64)) < 0):
                     raise DataFormatError(
-                        f"{self.directory}: {shard.indices_path} is not "
+                        f"{self.directory}: {shard.column_paths[mode]} is not "
                         f"sorted by mode {mode}"
                     )
                 if column.size and (
@@ -698,16 +849,17 @@ class ShardStore:
                     or int(column[-1]) != shard.last_row
                 ):
                     raise DataFormatError(
-                        f"{self.directory}: {shard.indices_path} row range "
-                        f"[{int(column[0])}, {int(column[-1])}] does not match "
-                        f"manifest [{shard.first_row}, {shard.last_row}]"
+                        f"{self.directory}: {shard.column_paths[mode]} row "
+                        f"range [{int(column[0])}, {int(column[-1])}] does "
+                        f"not match manifest "
+                        f"[{shard.first_row}, {shard.last_row}]"
                     )
                 if previous_last is not None and column.size and (
                     int(column[0]) < previous_last
                 ):
                     raise DataFormatError(
                         f"{self.directory}: mode-{mode} shards overlap in row "
-                        f"order at {shard.indices_path}"
+                        f"order at {shard.column_paths[mode]}"
                     )
                 if column.size:
                     previous_last = int(column[-1])

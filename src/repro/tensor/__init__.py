@@ -11,18 +11,27 @@ from .dense import (
     tucker_reconstruct,
     unfold,
 )
+from ..columns import (
+    IndexColumns,
+    index_dtype_for_dim,
+    index_dtypes_for_shape,
+)
 from .io import (
     NpzEntryReader,
+    RcooEntryReader,
     ShardEntryReader,
     TensorEntryReader,
     TextEntryReader,
     load_npz,
+    load_rcoo,
     load_shards,
     load_text,
     open_entry_reader,
     save_npz,
+    save_rcoo,
     save_shards,
     save_text,
+    write_rcoo,
 )
 from .operations import (
     factor_rows_product,
@@ -51,11 +60,18 @@ __all__ = [
     "save_text",
     "load_npz",
     "save_npz",
+    "load_rcoo",
+    "save_rcoo",
+    "write_rcoo",
     "load_shards",
     "save_shards",
     "open_entry_reader",
     "TextEntryReader",
     "NpzEntryReader",
+    "RcooEntryReader",
     "TensorEntryReader",
     "ShardEntryReader",
+    "IndexColumns",
+    "index_dtype_for_dim",
+    "index_dtypes_for_shape",
 ]

@@ -1,10 +1,14 @@
-"""Reading and writing sparse tensors: text, ``.npz`` and shard stores.
+"""Reading and writing sparse tensors: text, ``.npz``, ``.rcoo`` and shards.
 
 The P-Tucker release reads whitespace-separated text files where each line is
 ``i_1 i_2 ... i_N value`` (1-based indices).  This module reads and writes
 that format, auto-detects the tensor shape when one is not given, supports a
-simple ``.npz`` binary round-trip for faster test fixtures, and exports /
-imports the out-of-core shard-store format of :mod:`repro.shards`
+simple ``.npz`` binary round-trip for faster test fixtures, implements the
+chunked binary **rcoo** COO container (:func:`save_rcoo` /
+:func:`write_rcoo` / :class:`RcooEntryReader` — magic + fixed header +
+fixed-size blocks with narrow per-column index dtypes, so huge files stream
+in bounded memory instead of decompressing whole ``.npz`` arrays), and
+exports / imports the out-of-core shard-store format of :mod:`repro.shards`
 (:func:`save_shards` / :func:`load_shards`).
 
 Every input format is exposed through the chunked *entry reader* protocol:
@@ -12,12 +16,12 @@ an object with a ``shape`` attribute (``None`` when not yet known) and an
 ``iter_entry_chunks(chunk_nnz)`` method yielding ``(indices, values)`` array
 pairs of at most ``chunk_nnz`` entries, in file order.  Readers exist for
 text files (:class:`TextEntryReader` — vectorized parsing, bounded memory),
-``.npz`` archives (:class:`NpzEntryReader`), in-RAM tensors
-(:class:`TensorEntryReader`) and shard stores (:class:`ShardEntryReader`).
-The streaming shard-store builder
-(:meth:`repro.shards.ShardStore.build_streaming`) consumes any of them, so a
-raw text file can become an on-disk store — and then a fitted model —
-without the tensor ever existing in RAM.
+``.npz`` archives (:class:`NpzEntryReader`), rcoo containers
+(:class:`RcooEntryReader`), in-RAM tensors (:class:`TensorEntryReader`) and
+shard stores (:class:`ShardEntryReader`).  The streaming shard-store
+builder (:meth:`repro.shards.ShardStore.build_streaming`) consumes any of
+them, so a raw text file can become an on-disk store — and then a fitted
+model — without the tensor ever existing in RAM.
 
 Text parsing is tiered for speed: a fully vectorized parser
 (:mod:`repro.tensor.textparse`) handles plain numeric blocks an order of
@@ -32,10 +36,12 @@ from __future__ import annotations
 
 import codecs
 import os
+import struct
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..columns import check_index_dtype_policy, index_dtypes_for_shape
 from ..exceptions import DataFormatError, ShapeError
 from .coo import SparseTensor
 from .textparse import loadtxt_block, parse_numeric_block
@@ -402,6 +408,302 @@ class NpzEntryReader:
                 yield indices[start:stop], values[start:stop]
 
 
+# ----------------------------------------------------------------------
+# The rcoo chunked binary COO container
+# ----------------------------------------------------------------------
+
+#: First bytes of every rcoo container.
+RCOO_MAGIC = b"RCOO"
+
+#: Current container version.
+RCOO_VERSION = 1
+
+#: Default entries per rcoo block (~1-3 MB per block at typical orders).
+DEFAULT_RCOO_BLOCK_NNZ = 262_144
+
+#: On-disk dtype codes (1 byte per column in the header).
+_RCOO_DTYPE_CODES = {
+    np.dtype(np.uint8): 1,
+    np.dtype(np.uint16): 2,
+    np.dtype(np.uint32): 3,
+    np.dtype(np.int64): 4,
+    np.dtype(np.float64): 5,
+}
+_RCOO_CODE_DTYPES = {code: dtype for dtype, code in _RCOO_DTYPE_CODES.items()}
+
+#: Fixed-size header prefix: magic, version (u1), order (u1), reserved
+#: (u2), block_nnz (u4), nnz (u8) — all little-endian.  ``order`` u8
+#: shape dims and ``order + 1`` dtype-code bytes follow.
+_RCOO_PREFIX = struct.Struct("<4sBBHIQ")
+
+#: Byte offset of the nnz field (patched after a streamed write).
+_RCOO_NNZ_OFFSET = 12
+
+
+def _rcoo_header_bytes(
+    shape: Sequence[int],
+    nnz: int,
+    block_nnz: int,
+    index_dtypes: Sequence[np.dtype],
+) -> bytes:
+    order = len(shape)
+    if not 1 <= order <= 255:
+        raise ShapeError("rcoo supports orders 1..255")
+    prefix = _RCOO_PREFIX.pack(
+        RCOO_MAGIC, RCOO_VERSION, order, 0, int(block_nnz), int(nnz)
+    )
+    dims = struct.pack(f"<{order}Q", *(int(s) for s in shape))
+    codes = bytes(
+        [_RCOO_DTYPE_CODES[np.dtype(d)] for d in index_dtypes]
+        + [_RCOO_DTYPE_CODES[np.dtype(np.float64)]]
+    )
+    return prefix + dims + codes
+
+
+def _write_rcoo_block(
+    handle, indices: np.ndarray, values: np.ndarray, index_dtypes
+) -> None:
+    """One block: each index column in its narrow dtype, then the values."""
+    for k, dtype in enumerate(index_dtypes):
+        handle.write(
+            np.ascontiguousarray(indices[:, k], dtype=dtype).tobytes()
+        )
+    handle.write(np.ascontiguousarray(values, dtype=np.float64).tobytes())
+
+
+def save_rcoo(
+    tensor: SparseTensor,
+    path: PathLike,
+    block_nnz: int = DEFAULT_RCOO_BLOCK_NNZ,
+    index_dtype: str = "auto",
+) -> None:
+    """Write a sparse tensor as a chunked binary rcoo container.
+
+    Layout: the :data:`RCOO_MAGIC` magic, a fixed header (version, order,
+    block size, nnz, shape, per-column dtype codes), then
+    ``ceil(nnz / block_nnz)`` fixed-size blocks, each holding the block's
+    index columns — every column in the narrowest dtype its mode dimension
+    admits (``index_dtype="wide"`` keeps int64) — followed by its float64
+    values.  Unlike ``.npz``, the format has no compression layer to
+    inflate whole arrays through: :class:`RcooEntryReader` streams it back
+    one block at a time in bounded memory.
+    """
+    if block_nnz < 1:
+        raise ShapeError("block_nnz must be positive")
+    dtypes = index_dtypes_for_shape(tensor.shape, index_dtype)
+    with open(path, "wb") as handle:
+        handle.write(
+            _rcoo_header_bytes(tensor.shape, tensor.nnz, block_nnz, dtypes)
+        )
+        for start in range(0, tensor.nnz, block_nnz):
+            stop = min(start + block_nnz, tensor.nnz)
+            _write_rcoo_block(
+                handle,
+                tensor.indices[start:stop],
+                tensor.values[start:stop],
+                dtypes,
+            )
+
+
+def write_rcoo(
+    source,
+    path: PathLike,
+    block_nnz: int = DEFAULT_RCOO_BLOCK_NNZ,
+    index_dtype: str = "auto",
+    shape: Optional[Sequence[int]] = None,
+) -> Tuple[int, ...]:
+    """Stream any chunked entry source into an rcoo container; return its shape.
+
+    The shape comes from ``shape``, the source's own ``shape`` attribute,
+    or — when neither exists (a shapeless text reader) — one extra
+    bounded-memory pass over the source that records per-mode maxima.
+    That inference pass re-reads the input, roughly doubling ingest wall
+    time on big text files; it is unavoidable here because the block
+    *encoding* (the narrow per-column dtypes) is fixed by the shape
+    before the first block is written, so the shape cannot simply be
+    back-patched later the way nnz is.  Sources that know their shape
+    (``.npz``, shard stores, rcoo, text with an explicit ``shape=``)
+    stream in a single pass.  The entry count is never needed up front:
+    blocks are written as chunks arrive and the header's nnz field is
+    patched afterwards (the :data:`_RCOO_NNZ_OFFSET` field exists for
+    exactly this).  Peak memory is one ``block_nnz`` chunk either way.
+    """
+    if block_nnz < 1:
+        raise ShapeError("block_nnz must be positive")
+    check_index_dtype_policy(index_dtype)
+    if shape is None:
+        shape = getattr(source, "shape", None)
+    if shape is None:
+        order = None
+        maxima = None
+        for indices, _ in source.iter_entry_chunks(block_nnz):
+            indices = np.asarray(indices)
+            if indices.shape[0] == 0:
+                continue
+            if maxima is None:
+                order = indices.shape[1]
+                maxima = np.zeros(order, dtype=np.int64)
+            np.maximum(maxima, indices.max(axis=0), out=maxima)
+        if maxima is None:
+            raise DataFormatError(
+                "entry source produced no entries and no shape; an empty "
+                "rcoo container needs an explicit shape"
+            )
+        shape = tuple(int(m) + 1 for m in maxima)
+    shape = tuple(int(s) for s in shape)
+    dtypes = index_dtypes_for_shape(shape, index_dtype)
+    bound = np.asarray(shape, dtype=np.int64)
+    nnz = 0
+    with open(path, "wb") as handle:
+        handle.write(_rcoo_header_bytes(shape, 0, block_nnz, dtypes))
+        for indices, values in _exact_chunks(
+            source.iter_entry_chunks(block_nnz), block_nnz
+        ):
+            indices = np.ascontiguousarray(indices, dtype=np.int64)
+            values = np.ascontiguousarray(values, dtype=np.float64)
+            if indices.ndim != 2 or indices.shape[1] != len(shape):
+                raise DataFormatError(
+                    f"entry source yielded order-{indices.shape[-1]} chunks "
+                    f"for an order-{len(shape)} shape"
+                )
+            if indices.shape[0] and (
+                int(indices.min()) < 0 or (indices >= bound[None, :]).any()
+            ):
+                raise ShapeError("an index exceeds the tensor shape")
+            if not np.isfinite(values).all():
+                raise ShapeError("tensor values must be finite")
+            _write_rcoo_block(handle, indices, values, dtypes)
+            nnz += indices.shape[0]
+        handle.seek(_RCOO_NNZ_OFFSET)
+        handle.write(struct.pack("<Q", nnz))
+    return shape
+
+
+class RcooEntryReader:
+    """Chunked reader over an rcoo container written by :func:`save_rcoo`.
+
+    Parses the fixed header eagerly (raising
+    :class:`~repro.exceptions.DataFormatError` on a bad magic, an unknown
+    version/dtype code, or a truncated header) and streams the fixed-size
+    blocks on demand: one block of narrow index columns plus values is
+    resident at a time, re-grouped to the consumer's ``chunk_nnz`` — this
+    is the bounded-RAM binary ingest path that ``.npz`` (whole-archive
+    decompression) cannot provide.  A file that ends mid-block raises a
+    :class:`~repro.exceptions.DataFormatError` naming the missing bytes.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = os.fspath(path)
+        with open(self.path, "rb") as handle:
+            prefix = handle.read(_RCOO_PREFIX.size)
+            if len(prefix) < 4 or prefix[:4] != RCOO_MAGIC:
+                raise DataFormatError(
+                    f"{self.path}: not an rcoo container (bad magic "
+                    f"{prefix[:4]!r}, expected {RCOO_MAGIC!r})"
+                )
+            if len(prefix) < _RCOO_PREFIX.size:
+                raise DataFormatError(
+                    f"{self.path}: truncated rcoo header "
+                    f"({len(prefix)} of {_RCOO_PREFIX.size} prefix bytes)"
+                )
+            _, version, order, _, block_nnz, nnz = _RCOO_PREFIX.unpack(prefix)
+            if version != RCOO_VERSION:
+                raise DataFormatError(
+                    f"{self.path}: unsupported rcoo version {version} "
+                    f"(this build reads version {RCOO_VERSION})"
+                )
+            if order < 1 or block_nnz < 1:
+                raise DataFormatError(
+                    f"{self.path}: malformed rcoo header "
+                    f"(order={order}, block_nnz={block_nnz})"
+                )
+            rest = handle.read(8 * order + order + 1)
+            if len(rest) < 8 * order + order + 1:
+                raise DataFormatError(
+                    f"{self.path}: truncated rcoo header (missing shape or "
+                    f"dtype table)"
+                )
+            self.shape: Tuple[int, ...] = tuple(
+                struct.unpack(f"<{order}Q", rest[: 8 * order])
+            )
+            codes = rest[8 * order :]
+            try:
+                dtypes = tuple(_RCOO_CODE_DTYPES[c] for c in codes)
+            except KeyError as exc:
+                raise DataFormatError(
+                    f"{self.path}: unknown rcoo dtype code {exc}"
+                ) from exc
+            if dtypes[-1] != np.dtype(np.float64):
+                raise DataFormatError(
+                    f"{self.path}: rcoo value column must be float64, "
+                    f"header says {dtypes[-1]}"
+                )
+            self.index_dtypes: Tuple[np.dtype, ...] = dtypes[:-1]
+            self.nnz = int(nnz)
+            self.block_nnz = int(block_nnz)
+            self._data_offset = _RCOO_PREFIX.size + len(rest)
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes."""
+        return len(self.shape)
+
+    def _iter_blocks(self) -> Iterator[EntryChunk]:
+        order = self.order
+        with open(self.path, "rb") as handle:
+            handle.seek(self._data_offset)
+            for block, start in enumerate(range(0, self.nnz, self.block_nnz)):
+                count = min(self.block_nnz, self.nnz - start)
+                indices = np.empty((count, order), dtype=np.int64)
+                for k, dtype in enumerate(self.index_dtypes):
+                    expected = count * dtype.itemsize
+                    raw = handle.read(expected)
+                    if len(raw) < expected:
+                        raise DataFormatError(
+                            f"{self.path}: truncated rcoo container (block "
+                            f"{block}, column {k}: expected {expected} "
+                            f"bytes, got {len(raw)})"
+                        )
+                    indices[:, k] = np.frombuffer(raw, dtype=dtype)
+                expected = count * 8
+                raw = handle.read(expected)
+                if len(raw) < expected:
+                    raise DataFormatError(
+                        f"{self.path}: truncated rcoo container (block "
+                        f"{block} values: expected {expected} bytes, got "
+                        f"{len(raw)})"
+                    )
+                values = np.frombuffer(raw, dtype=np.float64)
+                yield indices, values
+
+    def iter_entry_chunks(
+        self, chunk_nnz: int = DEFAULT_CHUNK_NNZ
+    ) -> Iterator[EntryChunk]:
+        """Yield ``(indices, values)`` pairs of at most ``chunk_nnz`` entries."""
+        if chunk_nnz < 1:
+            raise ShapeError("chunk_nnz must be positive")
+        yield from _exact_chunks(self._iter_blocks(), chunk_nnz)
+
+
+def load_rcoo(path: PathLike) -> SparseTensor:
+    """Load an rcoo container into an in-RAM :class:`SparseTensor`."""
+    reader = RcooEntryReader(path)
+    chunks = list(reader.iter_entry_chunks(DEFAULT_CHUNK_NNZ))
+    if not chunks:
+        return SparseTensor(
+            np.empty((0, reader.order), dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            reader.shape,
+        )
+    indices = (
+        np.concatenate([i for i, _ in chunks]) if len(chunks) > 1 else chunks[0][0]
+    )
+    values = (
+        np.concatenate([v for _, v in chunks]) if len(chunks) > 1 else chunks[0][1]
+    )
+    return SparseTensor(indices, values, reader.shape)
+
+
 class TensorEntryReader:
     """Chunked reader over an in-RAM :class:`SparseTensor` (entry order)."""
 
@@ -433,14 +735,26 @@ class ShardEntryReader:
     """Chunked reader over an existing shard store (canonical entry order).
 
     Streams the store's mode-0 sorted sequence through the entry-chunk
-    protocol, so a store can be re-sharded (different ``shard_nnz``) or
-    re-exported without materialising the tensor.
+    protocol, so a store can be re-sharded (different ``shard_nnz`` or
+    ``index_dtype``) or re-exported without materialising the tensor.
+    A retired version-1 directory is read through
+    :class:`repro.shards.legacy.V1StoreReader`, so
+    ``ingest <v1-dir> --out <new>`` — the recipe
+    :meth:`~repro.shards.store.ShardStore.open` quotes — works as
+    advertised.
     """
 
     def __init__(self, directory: PathLike) -> None:
-        from ..shards import ShardStore
+        from ..exceptions import DataFormatError as _DataFormatError
+        from ..shards import ShardStore, V1StoreReader, is_v1_store
 
-        self._store = ShardStore.open(os.fspath(directory))
+        directory = os.fspath(directory)
+        try:
+            self._store = ShardStore.open(directory)
+        except _DataFormatError:
+            if not is_v1_store(directory):
+                raise
+            self._store = V1StoreReader(directory)
         self.shape: Tuple[int, ...] = self._store.shape
 
     @property
@@ -454,9 +768,22 @@ class ShardEntryReader:
         """Yield ``(indices, values)`` pairs of at most ``chunk_nnz`` entries."""
         if chunk_nnz < 1:
             raise ShapeError("chunk_nnz must be positive")
+        if not hasattr(self._store, "read_mode_block"):  # v1 fallback reader
+            yield from self._store.iter_entry_chunks(chunk_nnz)
+            return
         for start in range(0, self._store.nnz, chunk_nnz):
             stop = min(start + chunk_nnz, self._store.nnz)
-            yield self._store.read_mode_block(0, start, stop)
+            block, values = self._store.read_mode_block(0, start, stop)
+            yield np.asarray(block), values
+
+
+def _sniff_rcoo(path: str) -> bool:
+    """True when ``path`` starts with the rcoo magic bytes."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(RCOO_MAGIC)) == RCOO_MAGIC
+    except OSError:
+        return False
 
 
 def open_entry_reader(
@@ -464,19 +791,22 @@ def open_entry_reader(
     shape: Optional[Sequence[int]] = None,
     one_based: bool = True,
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-) -> Union[TextEntryReader, NpzEntryReader, ShardEntryReader]:
+) -> Union[TextEntryReader, NpzEntryReader, RcooEntryReader, ShardEntryReader]:
     """Open ``path`` with the matching chunked reader.
 
     A directory is opened as a shard store, a ``.npz`` file as an archive,
-    anything else as text.  ``shape``/``one_based``/``chunk_bytes`` apply
-    to the text reader only (the binary formats carry their own shape and
-    base).
+    a file starting with the :data:`RCOO_MAGIC` bytes (or named
+    ``*.rcoo``) as an rcoo container, anything else as text.
+    ``shape``/``one_based``/``chunk_bytes`` apply to the text reader only
+    (the binary formats carry their own shape and base).
     """
     fs_path = os.fspath(path)
     if os.path.isdir(fs_path):
         return ShardEntryReader(fs_path)
     if fs_path.endswith(".npz"):
         return NpzEntryReader(fs_path)
+    if fs_path.endswith(".rcoo") or _sniff_rcoo(fs_path):
+        return RcooEntryReader(fs_path)
     return TextEntryReader(
         fs_path, shape=shape, one_based=one_based, chunk_bytes=chunk_bytes
     )
@@ -539,13 +869,16 @@ def save_shards(
     *,
     source=None,
     chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    index_dtype: str = "auto",
 ):
     """Export a tensor (or a streamed entry source) as a shard store.
 
-    Writes the memory-mapped COO shard layout of
-    :class:`~repro.shards.store.ShardStore` (per-mode ``.npy`` index/value
-    blocks plus a JSON manifest) at ``directory`` and returns the built
-    store, ready for out-of-core sweeps.  Exactly one input must be given:
+    Writes the memory-mapped columnar COO shard layout of
+    :class:`~repro.shards.store.ShardStore` (per-mode, per-column narrow
+    ``.npy`` index files plus float64 values and a JSON manifest) at
+    ``directory`` and returns the built store, ready for out-of-core
+    sweeps.  ``index_dtype`` selects the column-dtype policy (``"auto"``
+    narrow / ``"wide"`` int64).  Exactly one input must be given:
     ``tensor`` (in-RAM build) or ``source`` (a chunked entry reader — the
     store is then built with the external-memory merge of
     :mod:`repro.shards.merge`, reading at most ``chunk_nnz`` entries at a
@@ -558,9 +891,15 @@ def save_shards(
         raise ShapeError("pass exactly one of tensor or source to save_shards")
     if source is not None:
         return ShardStore.build_streaming(
-            source, os.fspath(directory), shard_nnz=shard_nnz, chunk_nnz=chunk_nnz
+            source,
+            os.fspath(directory),
+            shard_nnz=shard_nnz,
+            chunk_nnz=chunk_nnz,
+            index_dtype=index_dtype,
         )
-    return ShardStore.build(tensor, os.fspath(directory), shard_nnz=shard_nnz)
+    return ShardStore.build(
+        tensor, os.fspath(directory), shard_nnz=shard_nnz, index_dtype=index_dtype
+    )
 
 
 def load_shards(directory: PathLike) -> SparseTensor:

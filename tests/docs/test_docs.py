@@ -54,19 +54,26 @@ def test_readme_documents_the_cli_flags():
         "--ranks",
         "--from-text",
         "--chunk-nnz",
+        "--index-dtype",
+        "--format",
+        "--out",
     ):
         assert flag in text, f"README CLI table is missing {flag}"
-    assert "ingest" in text, "README CLI table is missing the ingest command"
+    for command in ("ingest", "shards-migrate"):
+        assert command in text, f"README CLI table is missing {command}"
+    assert "rcoo" in text, "README does not mention the rcoo container"
 
 
 @pytest.mark.parametrize(
     "module,expected",
     [
+        ("repro.columns", ("IndexColumns", "uint8", "zero-copy")),
         ("repro.shards", ("ShardStore", "ShardedSweepExecutor", "manifest")),
-        ("repro.shards.store", ("read_mode_block", "mode_segmentation")),
+        ("repro.shards.store", ("read_mode_block", "mode_segmentation", "uint8")),
         ("repro.shards.executor", ("bitwise", "fit")),
-        ("repro.shards.merge", ("streaming_build", "k-way", "bitwise")),
-        ("repro.tensor.io", ("iter_entry_chunks", "TextEntryReader")),
+        ("repro.shards.merge", ("streaming_build", "k-way", "bitwise", "narrow")),
+        ("repro.shards.legacy", ("V1StoreReader", "migrate_v1_store")),
+        ("repro.tensor.io", ("iter_entry_chunks", "TextEntryReader", "rcoo")),
         ("repro.tensor.textparse", ("parse_numeric_block", "float(token)")),
         ("repro.kernels.backends", ("KernelBackend", "resolve_backend", "auto")),
         ("repro.kernels.backends.base", ("make_normal_equations_kernel",)),

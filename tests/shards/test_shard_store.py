@@ -30,7 +30,11 @@ class TestBuildLayout:
         assert store.nnz == tensor.nnz
         for mode in range(tensor.order):
             for shard in store.mode_shards(mode):
-                assert os.path.exists(os.path.join(store.directory, shard.indices_path))
+                assert len(shard.column_paths) == tensor.order
+                for column_path in shard.column_paths:
+                    assert os.path.exists(
+                        os.path.join(store.directory, column_path)
+                    )
                 assert os.path.exists(os.path.join(store.directory, shard.values_path))
                 assert shard.nnz <= 150
 
@@ -201,7 +205,7 @@ class TestCorruption:
 
     def test_missing_shard_file_raises_on_read(self, store):
         shard = store.mode_shards(0)[0]
-        os.remove(os.path.join(store.directory, shard.indices_path))
+        os.remove(os.path.join(store.directory, shard.column_paths[0]))
         with pytest.raises(DataFormatError):
             store.read_mode_block(0, 0, 5)
 
