@@ -5,9 +5,12 @@ Usage::
     python -m repro factorize ratings.tns --ranks 10 10 5 5 --output model
     python -m repro fit ratings.tns --ranks 10 --shards /data/shards
     python -m repro fit ratings.tns --ranks 10 --from-text --output model
+    python -m repro fit ratings.tns --ranks 10 --checkpoint-dir ckpt
+    python -m repro fit ratings.tns --ranks 10 --checkpoint-dir ckpt --resume
     python -m repro ingest ratings.tns --out /data/shards
     python -m repro ingest ratings.tns --format rcoo --out ratings.rcoo
     python -m repro shards-migrate /data/shards-v1 --out /data/shards
+    python -m repro shards-verify /data/shards
     python -m repro predict model.npz --index 3 17 2 14
     python -m repro info ratings.tns
 
@@ -18,7 +21,11 @@ tensor never exists in RAM, and ``ingest`` runs that build on its own —
 ``--format rcoo`` writes the chunked binary COO container of
 :mod:`repro.tensor.io` instead of a store.  ``shards-migrate`` rewrites a
 retired version-1 shard directory into the current narrow columnar
-format v2 in bounded memory — see :mod:`repro.shards`.)
+format v2 in bounded memory — see :mod:`repro.shards`.  ``shards-verify``
+checks an existing store's files against its manifest and exits 0/2.
+``--checkpoint-dir`` writes crash-safe per-iteration checkpoints and
+``--resume`` continues an interrupted fit bitwise-identically — see
+:mod:`repro.resilience`.)
 
 ``factorize`` reads a whitespace-separated ``i_1 ... i_N value`` file (the
 format of the paper's released datasets), runs the chosen algorithm, reports
@@ -40,6 +47,7 @@ from .columns import INDEX_DTYPE_POLICIES
 from .core import PTucker, PTuckerApprox, PTuckerCache, PTuckerConfig, TuckerResult
 from .core.sampled import PTuckerSampled
 from .kernels.backends import backend_names_for_cli
+from .resilience.atomic import atomic_open
 from .tensor import SparseTensor, load_text
 from .tensor.io import DEFAULT_CHUNK_NNZ, open_entry_reader
 
@@ -57,12 +65,18 @@ ALGORITHMS = {
 
 
 def save_model(result: TuckerResult, prefix: str) -> str:
-    """Store a fitted model as ``<prefix>.npz`` and return the file name."""
+    """Store a fitted model as ``<prefix>.npz`` and return the file name.
+
+    The archive is written atomically (temporary file, fsync, rename), so
+    a crash mid-save leaves the previous model intact instead of a torn
+    half-archive.
+    """
     arrays = {"core": result.core, "algorithm": np.asarray(result.algorithm)}
     for mode, factor in enumerate(result.factors):
         arrays[f"factor_{mode}"] = factor
     path = f"{prefix}.npz"
-    np.savez_compressed(path, **arrays)
+    with atomic_open(path) as handle:
+        np.savez_compressed(handle, **arrays)
     return path
 
 
@@ -166,6 +180,30 @@ def _build_parser() -> argparse.ArgumentParser:
     factorize.add_argument(
         "--output", default="", help="prefix for the stored model (.npz)"
     )
+    factorize.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default="",
+        help="write a crash-safe checkpoint (factors + core + trace, "
+        "checksummed, manifest last) into DIR during the fit; ptucker "
+        "only.  An interrupted run restarts with --resume",
+    )
+    factorize.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=1,
+        help="checkpoint every N iterations (default: 1; the final "
+        "iteration is always checkpointed)",
+    )
+    factorize.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir "
+        "and continue bitwise-identically to an uninterrupted fit; "
+        "corrupt checkpoints are diagnosed with the file name and the "
+        "last valid checkpoint to fall back to (exit 2)",
+    )
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -242,6 +280,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="index column dtypes of the rewritten store (default: auto)",
     )
 
+    verify = subparsers.add_parser(
+        "shards-verify",
+        help="check a shard store's files against its manifest (exit 0/2)",
+    )
+    verify.add_argument("store", help="path of the shard-store directory")
+    verify.add_argument(
+        "--quick",
+        action="store_true",
+        help="header/size checks only (O(files)); skip the full data-level "
+        "validation that re-reads every shard",
+    )
+
     predict = subparsers.add_parser("predict", help="predict one cell of a stored model")
     predict.add_argument("model", help="path to a model .npz written by 'factorize'")
     predict.add_argument(
@@ -271,6 +321,20 @@ def _command_factorize(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.checkpoint_dir and args.algorithm != "ptucker":
+        print(
+            "error: --checkpoint-dir supports the base 'ptucker' algorithm "
+            f"only (got --algorithm {args.algorithm})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print(
+            "error: --resume needs --checkpoint-dir DIR to know where the "
+            "checkpoints live",
+            file=sys.stderr,
+        )
+        return 2
 
     config = PTuckerConfig(
         ranks=tuple(args.ranks),
@@ -283,6 +347,9 @@ def _command_factorize(args: argparse.Namespace) -> int:
         shard_nnz=args.shard_nnz,
         ingest_chunk_nnz=args.chunk_nnz,
         index_dtype=args.index_dtype,
+        checkpoint_dir=args.checkpoint_dir or None,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     solver = ALGORITHMS[args.algorithm](config)
 
@@ -381,6 +448,23 @@ def _command_shards_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_shards_verify(args: argparse.Namespace) -> int:
+    from .shards import ShardStore
+
+    store = ShardStore.open(args.store)
+    store.verify_files()
+    if args.quick:
+        print(f"shard store at {store.directory}: file headers OK")
+    else:
+        store.validate()
+        print(f"shard store at {store.directory}: OK")
+    n_shards = sum(len(store.mode_shards(mode)) for mode in range(store.order))
+    print(f"shape: {store.shape}")
+    print(f"observed entries: {store.nnz}")
+    print(f"shards: {n_shards} ({store.shard_nnz} entries per shard)")
+    return 0
+
+
 def _command_predict(args: argparse.Namespace) -> int:
     result = load_model(args.model)
     index = np.asarray(args.index, dtype=np.int64)
@@ -417,9 +501,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
     Data-format problems (a malformed input file, a retired v1 shard
-    store under ``ingest`` or ``shards-migrate``) surface as an error
-    message plus exit code 2 instead of a traceback — the v1 message
-    includes the ``shards-migrate`` recipe verbatim.  ``fit --shards``
+    store under ``ingest`` or ``shards-migrate``, a store that fails
+    ``shards-verify``, a corrupt or mismatched checkpoint under
+    ``--resume``) surface as an error message plus exit code 2 instead
+    of a traceback — the v1 message includes the ``shards-migrate``
+    recipe verbatim, and a corrupt-checkpoint message names the bad file
+    and the last valid checkpoint to fall back to.  ``fit --shards``
     treats its directory as a cache, so a v1 store there is rebuilt as
     v2 from the input tensor rather than reported.
     """
@@ -434,6 +521,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_ingest(args)
         if args.command == "shards-migrate":
             return _command_shards_migrate(args)
+        if args.command == "shards-verify":
+            return _command_shards_verify(args)
         if args.command == "predict":
             return _command_predict(args)
         if args.command == "info":

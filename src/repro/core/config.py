@@ -81,6 +81,23 @@ class PTuckerConfig:
         never touches a float64, so both settings produce bitwise-identical
         fits; ``"auto"`` simply moves 3-8x fewer index bytes at typical
         dimensions.  See :mod:`repro.columns`.
+    checkpoint_dir:
+        When set, the fit writes a versioned crash-safe checkpoint
+        (factors + core + convergence trace, each file checksummed, the
+        manifest written last) under this directory after eligible
+        iterations — see :mod:`repro.resilience.checkpoint`.  The final
+        iteration is always checkpointed regardless of
+        ``checkpoint_every``.
+    checkpoint_every:
+        Checkpoint cadence: save every N-th iteration (default 1).
+    resume:
+        Continue from the newest valid checkpoint in ``checkpoint_dir``
+        instead of starting fresh.  The resumed trajectory is
+        bitwise-identical to an uninterrupted fit; a checkpoint written
+        under different data or trajectory-critical hyper-parameters
+        raises :class:`~repro.exceptions.DataFormatError` instead of
+        silently continuing a different fit.  With an empty checkpoint
+        directory the fit simply starts from scratch.
     """
 
     ranks: Tuple[int, ...] = (10,)
@@ -101,6 +118,9 @@ class PTuckerConfig:
     shard_nnz: int = 1_000_000
     ingest_chunk_nnz: int = 500_000
     index_dtype: str = "auto"
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.regularization < 0:
@@ -123,6 +143,10 @@ class PTuckerConfig:
             raise ShapeError("shard_nnz must be positive")
         if self.ingest_chunk_nnz < 1:
             raise ShapeError("ingest_chunk_nnz must be positive")
+        if self.checkpoint_every < 1:
+            raise ShapeError("checkpoint_every must be at least 1")
+        if self.resume and not self.checkpoint_dir:
+            raise ShapeError("resume=True requires checkpoint_dir")
         from ..columns import check_index_dtype_policy
 
         check_index_dtype_policy(self.index_dtype)

@@ -187,9 +187,49 @@ class PTucker:
         trace = ConvergenceTrace()
         timer = IterationTimer()
 
+        checkpoints = None
+        digest = ""
+        start_iteration = 1
+        if config.checkpoint_dir:
+            from ..resilience.checkpoint import (
+                CheckpointManager,
+                fit_state_digest,
+                resume_state,
+            )
+            from ..shards.store import _tensor_digest
+
+            checkpoints = CheckpointManager(
+                config.checkpoint_dir, every=config.checkpoint_every
+            )
+            digest = fit_state_digest(
+                shape=tensor.shape,
+                nnz=tensor.nnz,
+                ranks=ranks,
+                regularization=config.regularization,
+                seed=config.seed,
+                orthogonalize=config.orthogonalize,
+                backend=config.backend,
+                block_size=config.block_size,
+                entries_sha256=_tensor_digest(tensor),
+            )
+            resumed = resume_state(checkpoints, config.resume, digest)
+            if resumed is not None:
+                # The RNG only seeds the *initial* factors, which the
+                # checkpoint supersedes, so re-entering the deterministic
+                # loop at iteration+1 continues bitwise-identically.
+                factors = [
+                    np.ascontiguousarray(f, dtype=np.float64)
+                    for f in resumed.factors
+                ]
+                core = np.ascontiguousarray(resumed.core, dtype=np.float64)
+                trace = resumed.trace
+                start_iteration = resumed.iteration + 1
+
         self._prepare(tensor, factors, core, memory)
 
-        for iteration in range(1, config.max_iterations + 1):
+        for iteration in range(start_iteration, config.max_iterations + 1):
+            if trace.converged:
+                break  # a resumed checkpoint already recorded convergence
             with timer.iteration():
                 for mode in range(tensor.order):
                     previous = factors[mode].copy()
@@ -232,9 +272,20 @@ class PTucker:
                 trace.stop_reason = (
                     f"relative error change below tolerance {config.tolerance}"
                 )
+            elif iteration == config.max_iterations:
+                trace.stop_reason = (
+                    f"reached max_iterations={config.max_iterations}"
+                )
+            # Checkpoint after the stopping decision so a resumed fit knows
+            # whether the trajectory already finished; the final iteration
+            # is always saved regardless of the cadence.
+            if checkpoints is not None and checkpoints.due(
+                iteration,
+                final=trace.converged or iteration == config.max_iterations,
+            ):
+                checkpoints.save(iteration, factors, core, trace, digest)
+            if trace.converged:
                 break
-        else:
-            trace.stop_reason = f"reached max_iterations={config.max_iterations}"
 
         if config.orthogonalize:
             factors, core = orthogonalize(factors, core)

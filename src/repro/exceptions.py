@@ -25,6 +25,17 @@ class ConvergenceError(ReproError, RuntimeError):
     """Raised when a solver is asked to run in a state it cannot handle."""
 
 
+class WorkerFailureError(ReproError, RuntimeError):
+    """Raised when parallel worker processes keep dying past the retry budget.
+
+    The process-pool executor survives individual worker deaths by
+    rebuilding the pool and re-dispatching only the unfinished row
+    subsets; this error surfaces only after those bounded retries are
+    exhausted, and its message names the mode being updated and the rows
+    still outstanding so the failure is actionable.
+    """
+
+
 class OutOfMemoryError(ReproError, MemoryError):
     """Raised by the memory model when intermediate data exceeds the budget.
 

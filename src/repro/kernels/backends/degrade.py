@@ -1,0 +1,59 @@
+"""Call-time JIT degradation: fall back to numpy once, warn once.
+
+The numba backend registers whenever ``import numba`` succeeds, but JIT
+*compilation* happens lazily at the first kernel call and can still fail
+there — an unsupported LLVM/CPU combination, a broken cache directory, a
+numba/numpy version skew.  Crashing mid-sweep over a billion-entry store
+for a performance option is unacceptable, so the backend routes every
+jitted call through a :class:`JitCallGuard`: the first failure emits one
+:class:`RuntimeWarning` and flips the guard, and that call plus every
+later one is served by the reference
+:class:`~repro.kernels.backends.base.NumpyBackend` — which produces
+bitwise-identical results, so the fit continues as if nothing happened,
+only slower.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+
+class JitCallGuard:
+    """One-time degrade switch shared by a JIT backend's kernel calls.
+
+    ``failed`` starts False; :meth:`note_failure` warns once (naming the
+    backend and the underlying error) and latches it.  Callers check the
+    flag before dispatching to the JIT and route to :meth:`fallback`
+    afterwards — the guard caches one NumpyBackend so repeated fallback
+    calls cost nothing extra.
+    """
+
+    def __init__(self, backend_name: str = "numba") -> None:
+        self.backend_name = backend_name
+        self.failed = False
+        self._fallback = None
+        self.last_error: Optional[BaseException] = None
+
+    def fallback(self):
+        """The cached numpy reference backend serving degraded calls."""
+        if self._fallback is None:
+            from .base import NumpyBackend
+
+            self._fallback = NumpyBackend()
+        return self._fallback
+
+    def note_failure(self, exc: BaseException) -> None:
+        """Record a JIT failure; warn on the first one only."""
+        self.last_error = exc
+        if self.failed:
+            return
+        self.failed = True
+        warnings.warn(
+            f"{self.backend_name} JIT compilation failed at call time "
+            f"({type(exc).__name__}: {exc}); degrading to the numpy "
+            "kernels for the rest of this process — results are "
+            "bitwise-identical, only slower",
+            RuntimeWarning,
+            stacklevel=3,
+        )

@@ -33,7 +33,7 @@ materialise the unfolding" discipline carries over verbatim.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 import numba
@@ -41,6 +41,15 @@ from numba import njit, prange
 
 from ...columns import IndexColumns, as_index_block
 from .base import KernelBackend, NormalEquationsKernel
+from .degrade import JitCallGuard
+
+#: Shared degrade switch: JIT compilation happens lazily at the first
+#: kernel call and can fail there (LLVM/CPU mismatch, broken cache,
+#: numba/numpy skew) even though ``import numba`` succeeded at registry
+#: time.  The first failure warns once and every affected call — plus all
+#: later ones — runs on the bitwise-identical numpy kernels instead of
+#: crashing mid-sweep.  See :mod:`repro.kernels.backends.degrade`.
+_JIT_GUARD = JitCallGuard("numba")
 
 
 @njit(cache=True, parallel=True)
@@ -224,44 +233,68 @@ class NumbaBackend(KernelBackend):
         mode: int,
         expected_entries: int,
     ) -> NormalEquationsKernel:
+        if _JIT_GUARD.failed:
+            return _JIT_GUARD.fallback().make_normal_equations_kernel(
+                factors, core, mode, expected_entries
+            )
         core_arr = np.asarray(core, dtype=np.float64)
         core_flat = np.ascontiguousarray(core_arr.reshape(-1))
         core_shape = np.asarray(core_arr.shape, dtype=np.int64)
         rank = int(core_arr.shape[mode if core_arr.ndim > 1 else 0])
         factor_tuple = _as_uniform_tuple(factors)
 
+        fallback_kernel: List[NormalEquationsKernel] = []
+
+        def degraded(
+            indices_block, values_block, starts
+        ) -> Tuple[np.ndarray, np.ndarray]:
+            if not fallback_kernel:
+                fallback_kernel.append(
+                    _JIT_GUARD.fallback().make_normal_equations_kernel(
+                        factors, core, mode, expected_entries
+                    )
+                )
+            return fallback_kernel[0](indices_block, values_block, starts)
+
         def kernel(
             indices_block,
             values_block: np.ndarray,
             starts: np.ndarray,
         ) -> Tuple[np.ndarray, np.ndarray]:
+            if _JIT_GUARD.failed:
+                return degraded(indices_block, values_block, starts)
+            raw_block, raw_values, raw_starts = indices_block, values_block, starts
             indices_block = as_index_block(indices_block)
             n_entries = indices_block.shape[0]
             starts = _compliant(starts, np.int64)
             counts = np.diff(starts, append=n_entries)
             values_block = _compliant(values_block, np.float64)
-            if isinstance(indices_block, IndexColumns):
-                return _fused_normal_equations_gathered(
-                    _gather_factor_rows(factor_tuple, indices_block, mode),
+            try:
+                if isinstance(indices_block, IndexColumns):
+                    return _fused_normal_equations_gathered(
+                        _gather_factor_rows(factor_tuple, indices_block, mode),
+                        values_block,
+                        starts,
+                        counts,
+                        core_flat,
+                        core_shape,
+                        mode,
+                        rank,
+                    )
+                return _fused_normal_equations(
+                    _compliant_matrix(indices_block),
                     values_block,
                     starts,
                     counts,
+                    factor_tuple,
                     core_flat,
                     core_shape,
                     mode,
                     rank,
                 )
-            return _fused_normal_equations(
-                _compliant_matrix(indices_block),
-                values_block,
-                starts,
-                counts,
-                factor_tuple,
-                core_flat,
-                core_shape,
-                mode,
-                rank,
-            )
+            except Exception as exc:  # JIT compiles lazily; failures land here
+                _JIT_GUARD.note_failure(exc)
+                return degraded(raw_block, raw_values, raw_starts)
 
         return kernel
 
@@ -272,29 +305,40 @@ class NumbaBackend(KernelBackend):
         core: np.ndarray,
         mode: int,
     ) -> np.ndarray:
+        if _JIT_GUARD.failed:
+            return _JIT_GUARD.fallback().contract_delta_block(
+                indices_block, factors, core, mode
+            )
+        raw_block = indices_block
         core_arr = np.asarray(core, dtype=np.float64)
         rank = int(core_arr.shape[mode if core_arr.ndim > 1 else 0])
         core_flat = np.ascontiguousarray(core_arr.reshape(-1))
         core_shape = np.asarray(core_arr.shape, dtype=np.int64)
         factor_tuple = _as_uniform_tuple(factors)
         indices_block = as_index_block(indices_block)
-        if isinstance(indices_block, IndexColumns):
-            return _delta_block_gathered(
-                _gather_factor_rows(factor_tuple, indices_block, mode),
-                indices_block.shape[0],
+        try:
+            if isinstance(indices_block, IndexColumns):
+                return _delta_block_gathered(
+                    _gather_factor_rows(factor_tuple, indices_block, mode),
+                    indices_block.shape[0],
+                    core_flat,
+                    core_shape,
+                    mode,
+                    rank,
+                )
+            return _delta_block(
+                _compliant_matrix(indices_block),
+                factor_tuple,
                 core_flat,
                 core_shape,
                 mode,
                 rank,
             )
-        return _delta_block(
-            _compliant_matrix(indices_block),
-            factor_tuple,
-            core_flat,
-            core_shape,
-            mode,
-            rank,
-        )
+        except Exception as exc:  # JIT compiles lazily; failures land here
+            _JIT_GUARD.note_failure(exc)
+            return _JIT_GUARD.fallback().contract_delta_block(
+                raw_block, factors, core, mode
+            )
 
 
 NUMBA_VERSION = numba.__version__

@@ -25,11 +25,16 @@ entirely: worker slices are gathered straight from the memory-mapped shards.
 
 from __future__ import annotations
 
+import logging
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import WorkerFailureError
 from ..kernels import (
     concatenated_segment_starts,
     resolve_backend,
@@ -38,6 +43,32 @@ from ..kernels import (
 from ..tensor.coo import SparseTensor
 from ..core.row_update import ModeContext, build_mode_context
 from .partition import partition_rows
+
+logger = logging.getLogger(__name__)
+
+#: Times the executor rebuilds the pool and re-dispatches unfinished row
+#: subsets after worker deaths before giving up with WorkerFailureError.
+DEFAULT_MAX_RETRIES = 2
+
+#: Fault-injection hook (tests only): when this environment variable names
+#: a path, the first worker task to run creates it exclusively and kills
+#: its own process with ``os._exit`` — exactly the abrupt death (no
+#: exception, no cleanup) a SIGKILL or OOM-kill produces.  Because the
+#: path then exists, every later attempt proceeds normally, giving the
+#: chaos tests a deterministic die-once worker.
+INJECT_WORKER_DEATH_ENV = "REPRO_INJECT_WORKER_DEATH"
+
+
+def _maybe_inject_worker_death() -> None:
+    sentinel = os.environ.get(INJECT_WORKER_DEATH_ENV, "")
+    if not sentinel:
+        return
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # already died once; behave normally from here on
+    os.close(fd)
+    os._exit(1)
 
 
 def _update_row_subset(
@@ -58,6 +89,7 @@ def _update_row_subset(
     ``segment_starts``.  Returns ``(rows, new_row_values)``.  Module-level so
     it can be pickled by ``ProcessPoolExecutor``.
     """
+    _maybe_inject_worker_death()
     kernel_backend = resolve_backend(backend)
     ne_kernel = kernel_backend.make_normal_equations_kernel(
         factors, core, mode, local_indices.shape[0]
@@ -109,6 +141,8 @@ def parallel_update_factor_mode(
     context: Optional[ModeContext] = None,
     backend: str = "numpy",
     source=None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    timeout: Optional[float] = None,
 ) -> np.ndarray:
     """Update ``A^(mode)`` using a pool of worker processes.
 
@@ -125,6 +159,17 @@ def parallel_update_factor_mode(
     each *worker* gathers its own slice from the memory-mapped shards, so
     no process ever materialises more than one partition's entries.
     ``tensor`` / ``context`` may then be ``None``.
+
+    The dispatch survives worker death: a ``BrokenProcessPool`` (a worker
+    SIGKILLed, OOM-killed or crashed) or a per-future ``timeout`` expiry
+    makes the executor rebuild the pool and re-dispatch *only the row
+    subsets that never finished* — results already merged stay merged, and
+    because rows are independent the recovered update is identical to an
+    undisturbed run.  After ``max_retries`` rebuilds the attempt stops
+    with a :class:`~repro.exceptions.WorkerFailureError` naming the mode
+    and the outstanding rows.  Exceptions *raised* by a worker (a real
+    bug, not a death) propagate immediately — retrying deterministic
+    errors would only repeat them.
     """
     if source is not None:
         row_ids, row_starts, row_counts = source.mode_segmentation(mode)
@@ -152,45 +197,90 @@ def parallel_update_factor_mode(
         starts = concatenated_segment_starts(counts)
         jobs.append((entry_positions, starts, row_ids[positions]))
 
-    own_executor = executor is None
+    def submit(pool: ProcessPoolExecutor, job):
+        entry_positions, starts, rows = job
+        if source is not None:
+            return pool.submit(
+                _update_row_subset_from_source,
+                source,
+                entry_positions,
+                starts,
+                [np.asarray(f) for f in factors],
+                np.asarray(core),
+                mode,
+                rows,
+                regularization,
+                backend,
+            )
+        return pool.submit(
+            _update_row_subset,
+            context.sorted_indices[entry_positions],
+            context.sorted_values[entry_positions],
+            starts,
+            [np.asarray(f) for f in factors],
+            np.asarray(core),
+            mode,
+            rows,
+            regularization,
+            backend,
+        )
+
     pool = executor or ProcessPoolExecutor(max_workers=n_workers)
+    own_pools: List[ProcessPoolExecutor] = [] if executor is not None else [pool]
+    pending = list(range(len(jobs)))
+    retries = 0
     try:
-        futures = []
-        for entry_positions, starts, rows in jobs:
-            if source is not None:
-                futures.append(
-                    pool.submit(
-                        _update_row_subset_from_source,
-                        source,
-                        entry_positions,
-                        starts,
-                        [np.asarray(f) for f in factors],
-                        np.asarray(core),
-                        mode,
-                        rows,
-                        regularization,
-                        backend,
-                    )
+        while pending:
+            futures = {job_id: submit(pool, jobs[job_id]) for job_id in pending}
+            unfinished: List[int] = []
+            pool_suspect = False
+            for job_id, future in futures.items():
+                try:
+                    rows, new_values = future.result(timeout=timeout)
+                except BrokenProcessPool:
+                    unfinished.append(job_id)
+                    pool_suspect = True
+                except FuturesTimeoutError:
+                    # The worker may still be wedged on this task; the only
+                    # safe recovery is a fresh pool for the re-dispatch.
+                    future.cancel()
+                    unfinished.append(job_id)
+                    pool_suspect = True
+                else:
+                    factors[mode][rows] = new_values
+            if not unfinished:
+                break
+            if retries >= max_retries:
+                outstanding = np.concatenate(
+                    [jobs[job_id][2] for job_id in unfinished]
                 )
-            else:
-                futures.append(
-                    pool.submit(
-                        _update_row_subset,
-                        context.sorted_indices[entry_positions],
-                        context.sorted_values[entry_positions],
-                        starts,
-                        [np.asarray(f) for f in factors],
-                        np.asarray(core),
-                        mode,
-                        rows,
-                        regularization,
-                        backend,
-                    )
+                raise WorkerFailureError(
+                    f"mode-{mode} parallel update failed: worker processes "
+                    f"died or timed out {retries + 1} times "
+                    f"(max_retries={max_retries}); {outstanding.shape[0]} "
+                    f"rows never finished (first few: "
+                    f"{outstanding[:8].tolist()})"
                 )
-        for future in futures:
-            rows, new_values = future.result()
-            factors[mode][rows] = new_values
+            retries += 1
+            pending = unfinished
+            logger.warning(
+                "mode-%d parallel update lost %d of %d row subsets to "
+                "worker death/timeout; rebuilding the pool and "
+                "re-dispatching (retry %d of %d)",
+                mode,
+                len(unfinished),
+                len(jobs),
+                retries,
+                max_retries,
+            )
+            if pool_suspect:
+                # A caller-supplied pool that broke stays the caller's to
+                # shut down; the retry always gets a fresh pool of ours.
+                if pool in own_pools:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=n_workers)
+                own_pools.append(pool)
     finally:
-        if own_executor:
-            pool.shutdown()
+        for own in own_pools:
+            own.shutdown()
     return factors[mode]

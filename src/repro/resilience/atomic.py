@@ -1,0 +1,151 @@
+"""Atomic on-disk writes: the write-tmp, fsync, rename discipline.
+
+Every durable artifact the library produces — shard-store manifests and
+column files, ``.rcoo`` containers, fitted ``.npz`` models, checkpoint
+files — goes through the helpers in this module, so a crash (SIGKILL,
+power loss, full disk) at any instant leaves either the *complete old*
+file or the *complete new* file at the final path, never a torn one.
+
+The contract is the classic three-step dance:
+
+1. write the payload to a sibling temporary file (same directory, so the
+   final :func:`os.replace` is a same-filesystem rename — atomic on
+   POSIX);
+2. flush and ``fsync`` the temporary file, so its bytes are on stable
+   storage *before* the name flip;
+3. ``os.replace`` it onto the final path and ``fsync`` the containing
+   directory, so the rename itself survives a crash.
+
+Temporary files carry the :data:`TMP_SUFFIX` suffix plus the writer's
+pid; readers never look at them, and interrupted leftovers are harmless
+(and matched by :func:`is_tmp_path` for cleanup sweeps).
+
+``fsync`` can be disabled for throughput experiments with
+``REPRO_NO_FSYNC=1`` — rename-atomicity (no torn files after a process
+crash) is preserved, only power-loss durability is traded away.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import Dict, Iterator, Union
+
+import numpy as np
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Infix marking in-flight temporary files (``<final>.<TMP_SUFFIX><pid>``).
+TMP_SUFFIX = ".part"
+
+
+def _fsync_enabled() -> bool:
+    """False when ``REPRO_NO_FSYNC=1`` trades durability for speed."""
+    return os.environ.get("REPRO_NO_FSYNC", "").strip() not in ("1", "true")
+
+
+def tmp_path_for(path: PathLike) -> str:
+    """The sibling temporary name used while ``path`` is being written."""
+    return f"{os.fspath(path)}{TMP_SUFFIX}{os.getpid()}"
+
+
+def is_tmp_path(name: str) -> bool:
+    """True when ``name`` is an in-flight temporary of some atomic write."""
+    stem, sep, pid = name.rpartition(TMP_SUFFIX)
+    return bool(sep) and bool(stem) and pid.isdigit()
+
+
+def fsync_file(handle) -> None:
+    """Flush a writable handle's bytes to stable storage (honours the toggle)."""
+    handle.flush()
+    if _fsync_enabled():
+        os.fsync(handle.fileno())
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory entry table to stable storage (best effort).
+
+    Needed after :func:`os.replace` so the *rename* survives a power
+    loss, not just the file bytes.  Platforms that cannot open
+    directories (or filesystems that reject the fsync) are skipped
+    silently — rename-atomicity still holds there.
+    """
+    if not _fsync_enabled():
+        return
+    try:
+        fd = os.open(os.fspath(directory) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_open(path: PathLike) -> Iterator["os.PathLike[str]"]:
+    """Open ``path`` for atomic binary writing.
+
+    Yields a writable binary file handle backed by a sibling temporary
+    file.  On normal exit the handle is flushed, fsynced, closed and
+    renamed onto ``path`` (then the directory is fsynced); on any
+    exception the temporary is removed and ``path`` is left untouched —
+    whatever was there before, old version or nothing, is still there.
+    """
+    path = os.fspath(path)
+    tmp = tmp_path_for(path)
+    handle = open(tmp, "w+b")
+    try:
+        yield handle
+        handle.flush()
+        if _fsync_enabled():
+            os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp, path)
+        fsync_directory(os.path.dirname(path))
+    except BaseException:
+        with contextlib.suppress(OSError):
+            handle.close()
+        with contextlib.suppress(OSError):
+            os.remove(tmp)
+        raise
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
+    """Atomically replace ``path`` with ``payload``."""
+    with atomic_open(path) as handle:
+        handle.write(payload)
+
+
+def atomic_write_json(path: PathLike, payload: Dict[str, object]) -> None:
+    """Atomically write ``payload`` as canonical JSON (sorted keys, newline).
+
+    The byte layout matches the historical ``json.dump(..., indent=2,
+    sort_keys=True)`` + trailing newline of the shard-store manifest
+    writer, so migrating callers changes durability, not content.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_save_array(path: PathLike, array: np.ndarray) -> None:
+    """Atomically write one ``.npy`` file (byte-identical to ``numpy.save``)."""
+    with atomic_open(path) as handle:
+        np.save(handle, array)
+
+
+def sha256_file(path: PathLike, block_bytes: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file's bytes (bounded memory)."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            piece = handle.read(block_bytes)
+            if not piece:
+                break
+            digest.update(piece)
+    return digest.hexdigest()

@@ -151,9 +151,19 @@ class ShardedSweepExecutor:
         kernels (``config.backend`` / ``config.block_size`` configure the
         in-core path and are not consulted here); every other
         hyper-parameter comes from ``config``.
+
+        Before the first sweep the store's files get a cheap sanity check
+        (:meth:`~repro.shards.store.ShardStore.verify_files` — headers and
+        sizes only, no data reads), so a truncated or half-written store
+        fails up front with a path-naming
+        :class:`~repro.exceptions.DataFormatError` instead of hours into
+        the fit.  ``config.checkpoint_dir`` / ``resume`` behave exactly as
+        in the in-core fit: versioned crash-safe checkpoints, bitwise
+        resume (see :mod:`repro.resilience.checkpoint`).
         """
         config = config if config is not None else PTuckerConfig()
         store = self.store
+        store.verify_files()
         ranks = config.resolve_ranks(store.order)
         rng = np.random.default_rng(config.seed)
 
@@ -171,7 +181,43 @@ class ShardedSweepExecutor:
         trace = ConvergenceTrace()
         timer = IterationTimer()
 
-        for iteration in range(1, config.max_iterations + 1):
+        checkpoints = None
+        digest = ""
+        start_iteration = 1
+        if config.checkpoint_dir:
+            from ..resilience.checkpoint import (
+                CheckpointManager,
+                fit_state_digest,
+                resume_state,
+            )
+
+            checkpoints = CheckpointManager(
+                config.checkpoint_dir, every=config.checkpoint_every
+            )
+            digest = fit_state_digest(
+                shape=store.shape,
+                nnz=store.nnz,
+                ranks=ranks,
+                regularization=config.regularization,
+                seed=config.seed,
+                orthogonalize=config.orthogonalize,
+                backend=self.backend,
+                block_size=self.block_size,
+                entries_sha256=store.fingerprint.get("entries_sha256"),
+            )
+            resumed = resume_state(checkpoints, config.resume, digest)
+            if resumed is not None:
+                factors = [
+                    np.ascontiguousarray(f, dtype=np.float64)
+                    for f in resumed.factors
+                ]
+                core = np.ascontiguousarray(resumed.core, dtype=np.float64)
+                trace = resumed.trace
+                start_iteration = resumed.iteration + 1
+
+        for iteration in range(start_iteration, config.max_iterations + 1):
+            if trace.converged:
+                break  # a resumed checkpoint already recorded convergence
             with timer.iteration():
                 for mode in range(store.order):
                     self.update_factor_mode(
@@ -199,9 +245,17 @@ class ShardedSweepExecutor:
                 trace.stop_reason = (
                     f"relative error change below tolerance {config.tolerance}"
                 )
+            elif iteration == config.max_iterations:
+                trace.stop_reason = (
+                    f"reached max_iterations={config.max_iterations}"
+                )
+            if checkpoints is not None and checkpoints.due(
+                iteration,
+                final=trace.converged or iteration == config.max_iterations,
+            ):
+                checkpoints.save(iteration, factors, core, trace, digest)
+            if trace.converged:
                 break
-        else:
-            trace.stop_reason = f"reached max_iterations={config.max_iterations}"
 
         if config.orthogonalize:
             factors, core = orthogonalize(factors, core)

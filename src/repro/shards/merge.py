@@ -55,8 +55,10 @@ as that mode is merged.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import heapq
+import logging
 import os
 import shutil
 from concurrent.futures import ThreadPoolExecutor
@@ -70,14 +72,24 @@ from ..columns import (
     index_dtypes_for_shape,
 )
 from ..exceptions import DataFormatError, ShapeError
+from ..resilience.atomic import (
+    atomic_save_array,
+    fsync_directory,
+    fsync_file,
+    tmp_path_for,
+)
 from ..tensor.io import DEFAULT_CHUNK_NNZ
 from .store import (
     DEFAULT_SHARD_NNZ,
+    MANIFEST_NAME,
     _manifest_payload,
     _mode_dir,
     _mode_shards_json,
+    _retire_manifest,
     _write_manifest,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Name of the scratch directory inside the target store directory.
 INGEST_TMP_DIR = ".ingest-tmp"
@@ -154,16 +166,35 @@ class _ShardSeriesWriter:
         stem = f"shard{self.shard_no:04d}"
         size = min(self.shard_nnz, self.nnz - self.shard_no * self.shard_nnz)
         mode_dir = os.path.join(self.directory, _mode_dir(self.mode))
+        # Each shard file streams into a sibling temporary and is fsynced
+        # and renamed into place only when complete, so a crash mid-merge
+        # never leaves a final-named file with partial contents.
+        self._final_paths = [
+            os.path.join(mode_dir, f"{stem}.col{k}.npy")
+            for k in range(len(self.column_dtypes))
+        ] + [os.path.join(mode_dir, stem + ".values.npy")]
+        self._tmp_paths = [tmp_path_for(path) for path in self._final_paths]
         self._column_handles = []
         for k, dtype in enumerate(self.column_dtypes):
-            handle = open(os.path.join(mode_dir, f"{stem}.col{k}.npy"), "wb")
+            handle = open(self._tmp_paths[k], "wb")
             _npy_header(handle, (size,), dtype)
             self._column_handles.append(handle)
-        self._values_handle = open(
-            os.path.join(mode_dir, stem + ".values.npy"), "wb"
-        )
+        self._values_handle = open(self._tmp_paths[-1], "wb")
         _npy_header(self._values_handle, (size,), np.float64)
         self._capacity = size
+
+    def _finish_shard(self) -> None:
+        """Commit the completed shard: fsync, close, rename every file."""
+        handles = list(self._column_handles) + [self._values_handle]
+        for handle, tmp, final in zip(handles, self._tmp_paths, self._final_paths):
+            fsync_file(handle)
+            handle.close()
+            os.replace(tmp, final)
+        fsync_directory(os.path.join(self.directory, _mode_dir(self.mode)))
+        self._column_handles = None
+        self._values_handle = None
+        self.shard_no += 1
+        self.filled = 0
 
     def write(
         self, columns: Sequence[np.ndarray], values: np.ndarray
@@ -188,19 +219,15 @@ class _ShardSeriesWriter:
             self.filled += take
             offset += take
             if self.filled == self._capacity:
-                for handle in self._column_handles:
-                    handle.close()
-                self._values_handle.close()
-                self._column_handles = None
-                self._values_handle = None
-                self.shard_no += 1
-                self.filled = 0
+                self._finish_shard()
 
     def close(self) -> None:
         if self._column_handles is not None:  # pragma: no cover - defensive
-            for handle in self._column_handles:
+            for handle in list(self._column_handles) + [self._values_handle]:
                 handle.close()
-            self._values_handle.close()
+            for tmp in self._tmp_paths:
+                with contextlib.suppress(OSError):
+                    os.remove(tmp)
             raise DataFormatError(
                 f"mode {self.mode}: merge ended mid-shard "
                 f"({self.filled} of {self._capacity} entries)"
@@ -613,7 +640,30 @@ def streaming_build(
     os.makedirs(directory, exist_ok=True)
     tmp_dir = os.path.join(directory, INGEST_TMP_DIR)
     if os.path.isdir(tmp_dir):
+        # A scratch directory can only be here if a prior build died (a
+        # completed build always removes it); with no manifest alongside,
+        # that build never committed at all.  Either way the leftovers are
+        # useless to this build — log the detection and clear them.
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            logger.warning(
+                "%s: removing stale %s left by an interrupted build "
+                "(the existing manifest predates it)",
+                directory,
+                INGEST_TMP_DIR,
+            )
+        else:
+            logger.warning(
+                "%s: detected an interrupted streaming build (stale %s, "
+                "no manifest); cleaning it up and rebuilding from scratch",
+                directory,
+                INGEST_TMP_DIR,
+            )
         shutil.rmtree(tmp_dir)
+    # Commit-point discipline: retire any old manifest before the first
+    # data file is touched, write the new one last — a crash in between
+    # leaves a directory ShardStore.open refuses, never one it accepts
+    # but validate() rejects.
+    _retire_manifest(directory)
     os.makedirs(tmp_dir)
     state = _IngestState(tmp_dir, shape, chunk_nnz, index_dtype)
     state.max_spill_workers = spill_workers()
@@ -660,9 +710,13 @@ def streaming_build(
             row_ids, row_starts, row_counts = _merge_mode(
                 state, mode, directory, shard_nnz
             )
-            np.save(os.path.join(mode_dir, "row_ids.npy"), row_ids)
-            np.save(os.path.join(mode_dir, "row_starts.npy"), row_starts)
-            np.save(os.path.join(mode_dir, "row_counts.npy"), row_counts)
+            atomic_save_array(os.path.join(mode_dir, "row_ids.npy"), row_ids)
+            atomic_save_array(
+                os.path.join(mode_dir, "row_starts.npy"), row_starts
+            )
+            atomic_save_array(
+                os.path.join(mode_dir, "row_counts.npy"), row_counts
+            )
             modes_json.append(
                 {
                     "mode": mode,

@@ -75,6 +75,11 @@ from ..columns import (
     index_dtypes_for_shape,
 )
 from ..exceptions import DataFormatError, ShapeError
+from ..resilience.atomic import (
+    atomic_save_array,
+    atomic_write_json,
+    fsync_directory,
+)
 from ..tensor.coo import SparseTensor
 
 #: Manifest file name inside a shard directory.
@@ -275,10 +280,46 @@ def _manifest_payload(
 
 
 def _write_manifest(directory: str, manifest: Dict[str, object]) -> None:
-    """Serialise a manifest into ``directory`` (sorted keys, trailing newline)."""
-    with open(os.path.join(directory, MANIFEST_NAME), "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    """Serialise a manifest into ``directory`` (sorted keys, trailing newline).
+
+    Written atomically (tmp + fsync + rename) and *last* during a build —
+    the manifest is the commit point: a directory without one is not a
+    store, so a crash at any earlier instant leaves nothing that
+    :meth:`ShardStore.open` would accept.
+    """
+    atomic_write_json(os.path.join(directory, MANIFEST_NAME), manifest)
+
+
+def _retire_manifest(directory: str) -> None:
+    """Remove a stale manifest before a rebuild touches any data file.
+
+    Rebuilding over an existing store rewrites the shard files in place;
+    if the old manifest survived until the crash, ``open`` would accept a
+    directory whose data no longer matches it.  Deleting the manifest
+    first makes every partially rebuilt state unopenable instead of
+    silently wrong — the commit-point discipline in reverse.
+    """
+    path = os.path.join(directory, MANIFEST_NAME)
+    if os.path.exists(path):
+        os.remove(path)
+        fsync_directory(directory)
+
+
+def _npy_file_info(path: str) -> Tuple[Tuple[int, ...], np.dtype, int]:
+    """Parse one ``.npy`` header without reading data.
+
+    Returns ``(shape, dtype, data_offset)``; raises ``OSError`` /
+    ``ValueError`` on a missing file or a malformed header.
+    """
+    with open(path, "rb") as handle:
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, _, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, _, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError(f"unsupported .npy format version {version}")
+        return tuple(int(s) for s in shape), np.dtype(dtype), handle.tell()
 
 
 class ShardStore:
@@ -448,6 +489,7 @@ class ShardStore:
         check_index_dtype_policy(index_dtype)
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
+        _retire_manifest(directory)
         column_dtypes = index_dtypes_for_shape(tensor.shape, index_dtype)
 
         modes_json: List[Dict[str, object]] = []
@@ -475,9 +517,9 @@ class ShardStore:
             row_ids = row_ids.astype(np.int64)
             row_starts = row_starts.astype(np.int64)
             row_counts = row_counts.astype(np.int64)
-            np.save(os.path.join(mode_dir, "row_ids.npy"), row_ids)
-            np.save(os.path.join(mode_dir, "row_starts.npy"), row_starts)
-            np.save(os.path.join(mode_dir, "row_counts.npy"), row_counts)
+            atomic_save_array(os.path.join(mode_dir, "row_ids.npy"), row_ids)
+            atomic_save_array(os.path.join(mode_dir, "row_starts.npy"), row_starts)
+            atomic_save_array(os.path.join(mode_dir, "row_counts.npy"), row_counts)
 
             shards_json = _mode_shards_json(
                 mode, tensor.nnz, shard_nnz, tensor.order, row_ids, row_starts
@@ -486,11 +528,11 @@ class ShardStore:
                 start = int(shard_json["start"])
                 stop = int(shard_json["stop"])
                 for k, column_path in enumerate(shard_json["columns"]):
-                    np.save(
+                    atomic_save_array(
                         os.path.join(directory, str(column_path)),
                         sorted_columns[k][start:stop],
                     )
-                np.save(
+                atomic_save_array(
                     os.path.join(directory, str(shard_json["values"])),
                     sorted_values[start:stop],
                 )
@@ -801,6 +843,86 @@ class ShardStore:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
+    def verify_files(self) -> None:
+        """Cheap integrity check: every file exists with its declared header.
+
+        Parses each ``.npy`` header (magic, shape, dtype) and compares the
+        file's size against ``header + shape × itemsize`` — no data is
+        read, so the check is O(number of files), not O(nnz), cheap enough
+        to run before every out-of-core sweep.  Catches missing,
+        truncated, padded and header-corrupt files with a
+        :class:`~repro.exceptions.DataFormatError` naming the path;
+        content-level damage to the index columns (bit flips breaking
+        sort order or row ranges) needs the full :meth:`validate`.  Flips
+        inside the *values* data region are beyond both — only the
+        checksummed artifacts (checkpoints) pin every byte.
+        """
+
+        def check(relative: str, shape: Tuple[int, ...], dtype: np.dtype) -> None:
+            path = os.path.join(self.directory, relative)
+            try:
+                found_shape, found_dtype, offset = _npy_file_info(path)
+            except FileNotFoundError:
+                raise DataFormatError(
+                    f"{path}: shard-store file is missing"
+                ) from None
+            except (OSError, ValueError) as exc:
+                raise DataFormatError(
+                    f"{path}: unreadable .npy header ({exc})"
+                ) from None
+            if found_shape != tuple(shape):
+                raise DataFormatError(
+                    f"{path}: header shape {found_shape} does not match "
+                    f"manifest {tuple(shape)}"
+                )
+            if found_dtype != np.dtype(dtype):
+                raise DataFormatError(
+                    f"{path}: header dtype {found_dtype} does not match "
+                    f"manifest {np.dtype(dtype)}"
+                )
+            expected = offset + int(
+                np.prod(found_shape, dtype=np.int64) * found_dtype.itemsize
+            )
+            actual = os.path.getsize(path)
+            if actual != expected:
+                raise DataFormatError(
+                    f"{path}: file is {actual} bytes, header implies "
+                    f"{expected} — truncated or padded"
+                )
+
+        for mode in range(self.order):
+            mode_dir = _mode_dir(mode)
+            lengths = {}
+            for name in ("row_ids.npy", "row_starts.npy", "row_counts.npy"):
+                relative = os.path.join(mode_dir, name)
+                path = os.path.join(self.directory, relative)
+                try:
+                    shape, dtype, _ = _npy_file_info(path)
+                except FileNotFoundError:
+                    raise DataFormatError(
+                        f"{path}: shard-store file is missing"
+                    ) from None
+                except (OSError, ValueError) as exc:
+                    raise DataFormatError(
+                        f"{path}: unreadable .npy header ({exc})"
+                    ) from None
+                if len(shape) != 1 or dtype != np.dtype(np.int64):
+                    raise DataFormatError(
+                        f"{path}: expected a 1-D int64 segmentation array, "
+                        f"found shape {shape} dtype {dtype}"
+                    )
+                check(relative, shape, np.int64)
+                lengths[name] = shape[0]
+            if len(set(lengths.values())) != 1:
+                raise DataFormatError(
+                    f"{self.directory}: mode-{mode} segmentation arrays "
+                    f"disagree in length ({lengths})"
+                )
+            for shard in self._shards[mode]:
+                for k, column_path in enumerate(shard.column_paths):
+                    check(column_path, (shard.nnz,), self.index_dtypes[k])
+                check(shard.values_path, (shard.nnz,), np.float64)
+
     def validate(self) -> None:
         """Check the on-disk data against the manifest (beyond `open`'s checks).
 

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..columns import check_index_dtype_policy, index_dtypes_for_shape
 from ..exceptions import DataFormatError, ShapeError
+from ..resilience.atomic import atomic_open
 from .coo import SparseTensor
 from .textparse import loadtxt_block, parse_numeric_block
 
@@ -491,7 +492,9 @@ def save_rcoo(
     if block_nnz < 1:
         raise ShapeError("block_nnz must be positive")
     dtypes = index_dtypes_for_shape(tensor.shape, index_dtype)
-    with open(path, "wb") as handle:
+    # Atomic write: the container appears at ``path`` only once complete,
+    # so a crash mid-save never leaves a truncated rcoo behind.
+    with atomic_open(path) as handle:
         handle.write(
             _rcoo_header_bytes(tensor.shape, tensor.nnz, block_nnz, dtypes)
         )
@@ -554,7 +557,9 @@ def write_rcoo(
     dtypes = index_dtypes_for_shape(shape, index_dtype)
     bound = np.asarray(shape, dtype=np.int64)
     nnz = 0
-    with open(path, "wb") as handle:
+    # Atomic write; the nnz back-patch below happens on the temporary
+    # before the rename, so readers only ever see a complete container.
+    with atomic_open(path) as handle:
         handle.write(_rcoo_header_bytes(shape, 0, block_nnz, dtypes))
         for indices, values in _exact_chunks(
             source.iter_entry_chunks(block_nnz), block_nnz

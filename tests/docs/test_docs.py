@@ -57,9 +57,12 @@ def test_readme_documents_the_cli_flags():
         "--index-dtype",
         "--format",
         "--out",
+        "--checkpoint-dir",
+        "--checkpoint-every",
+        "--resume",
     ):
         assert flag in text, f"README CLI table is missing {flag}"
-    for command in ("ingest", "shards-migrate"):
+    for command in ("ingest", "shards-migrate", "shards-verify"):
         assert command in text, f"README CLI table is missing {command}"
     assert "rcoo" in text, "README does not mention the rcoo container"
 
@@ -77,6 +80,11 @@ def test_readme_documents_the_cli_flags():
         ("repro.tensor.textparse", ("parse_numeric_block", "float(token)")),
         ("repro.kernels.backends", ("KernelBackend", "resolve_backend", "auto")),
         ("repro.kernels.backends.base", ("make_normal_equations_kernel",)),
+        ("repro.resilience", ("atomic_open", "CheckpointManager", "bitwise")),
+        ("repro.resilience.atomic", ("fsync", "rename", "crash")),
+        ("repro.resilience.checkpoint", ("manifest", "bitwise", "resume")),
+        ("repro.kernels.backends.degrade", ("numpy", "RuntimeWarning")),
+        ("repro.parallel.executor", ("WorkerFailureError", "re-dispatch")),
     ],
 )
 def test_pydoc_renders_public_api(module, expected):

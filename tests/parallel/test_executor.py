@@ -1,12 +1,16 @@
 """Tests for the process-pool parallel row updates."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import PTuckerConfig
 from repro.core.core_tensor import initialize_core, initialize_factors
 from repro.core.row_update import update_factor_mode
+from repro.exceptions import WorkerFailureError
 from repro.parallel import parallel_update_factor_mode
+from repro.parallel.executor import INJECT_WORKER_DEATH_ENV
 
 
 @pytest.mark.parametrize("mode", [0, 1, 2])
@@ -84,3 +88,56 @@ def test_parallel_update_with_threaded_backend_in_workers(planted_small):
         backend="threaded",
     )
     np.testing.assert_allclose(factors[0], reference[0], atol=1e-8)
+
+
+def test_worker_death_on_first_call_recovers(
+    planted_small, tmp_path, monkeypatch
+):
+    """A worker dying abruptly on its first task is re-dispatched after a
+    pool rebuild, and the recovered update equals the serial one."""
+    tensor = planted_small.tensor
+    generator = np.random.default_rng(0)
+    factors = initialize_factors(tensor.shape, (3, 3, 3), generator)
+    reference = [f.copy() for f in factors]
+    core = initialize_core((3, 3, 3), np.random.default_rng(1))
+    update_factor_mode(tensor, reference, core, 0, regularization=0.01)
+
+    sentinel = str(tmp_path / "died-once")
+    monkeypatch.setenv(INJECT_WORKER_DEATH_ENV, sentinel)
+    parallel_update_factor_mode(
+        tensor, factors, core, 0, regularization=0.01, n_workers=2
+    )
+    assert os.path.exists(sentinel), "the injected worker death never fired"
+    np.testing.assert_allclose(factors[0], reference[0], atol=1e-8)
+
+
+def test_retry_budget_exhaustion_names_mode_and_rows(
+    planted_small, tmp_path, monkeypatch
+):
+    tensor = planted_small.tensor
+    generator = np.random.default_rng(0)
+    factors = initialize_factors(tensor.shape, (3, 3, 3), generator)
+    core = initialize_core((3, 3, 3), np.random.default_rng(1))
+
+    monkeypatch.setenv(INJECT_WORKER_DEATH_ENV, str(tmp_path / "die"))
+    with pytest.raises(WorkerFailureError, match="mode-1") as excinfo:
+        parallel_update_factor_mode(
+            tensor, factors, core, 1, regularization=0.01, n_workers=2,
+            max_retries=0,
+        )
+    assert "rows never finished" in str(excinfo.value)
+
+
+def test_worker_exceptions_propagate_without_retry(planted_small):
+    """A deterministic bug raised by a worker is not retried."""
+    tensor = planted_small.tensor
+    factors = initialize_factors(
+        tensor.shape, (3, 3, 3), np.random.default_rng(0)
+    )
+    core = initialize_core((3, 3, 3), np.random.default_rng(1))
+    with pytest.raises(Exception) as excinfo:
+        parallel_update_factor_mode(
+            tensor, factors, core, 0, regularization=0.01, n_workers=2,
+            backend="no-such-backend",
+        )
+    assert not isinstance(excinfo.value, WorkerFailureError)

@@ -1,0 +1,89 @@
+"""Tests for the atomic write helpers (write-tmp, fsync, rename)."""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    atomic_open,
+    atomic_save_array,
+    atomic_write_bytes,
+    atomic_write_json,
+    is_tmp_path,
+    sha256_file,
+    tmp_path_for,
+)
+
+
+def _no_tmp_leftovers(directory) -> bool:
+    return not any(is_tmp_path(name) for name in os.listdir(directory))
+
+
+class TestAtomicOpen:
+    def test_successful_write_lands_at_final_path(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_open(str(target)) as handle:
+            handle.write(b"payload")
+        assert target.read_bytes() == b"payload"
+        assert _no_tmp_leftovers(tmp_path)
+
+    def test_exception_leaves_no_file_and_no_tmp(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with pytest.raises(RuntimeError):
+            with atomic_open(str(target)) as handle:
+                handle.write(b"half-written")
+                raise RuntimeError("crash mid-write")
+        assert not target.exists()
+        assert _no_tmp_leftovers(tmp_path)
+
+    def test_exception_preserves_previous_content(self, tmp_path):
+        """A failed rewrite leaves the complete old file, never a torn one."""
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old complete content")
+        with pytest.raises(RuntimeError):
+            with atomic_open(str(target)) as handle:
+                handle.write(b"new")
+                raise RuntimeError("crash mid-rewrite")
+        assert target.read_bytes() == b"old complete content"
+        assert _no_tmp_leftovers(tmp_path)
+
+
+class TestHelpers:
+    def test_tmp_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "file.npy")
+        tmp = tmp_path_for(path)
+        assert tmp.startswith(path)
+        assert is_tmp_path(tmp)
+        assert not is_tmp_path(path)
+
+    def test_atomic_write_bytes(self, tmp_path):
+        target = tmp_path / "blob"
+        atomic_write_bytes(str(target), b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+        assert _no_tmp_leftovers(tmp_path)
+
+    def test_atomic_write_json_byte_format(self, tmp_path):
+        """The JSON byte format matches the historical manifest writer."""
+        payload = {"b": [1, 2], "a": "x"}
+        target = tmp_path / "manifest.json"
+        atomic_write_json(str(target), payload)
+        expected = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        assert target.read_text() == expected
+
+    def test_atomic_save_array_round_trip(self, tmp_path):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        target = tmp_path / "array.npy"
+        atomic_save_array(str(target), array)
+        np.testing.assert_array_equal(
+            np.load(str(target), allow_pickle=False), array
+        )
+        assert _no_tmp_leftovers(tmp_path)
+
+    def test_sha256_file_matches_hashlib(self, tmp_path):
+        target = tmp_path / "data"
+        content = os.urandom(70_000)  # spans multiple read blocks
+        target.write_bytes(content)
+        assert sha256_file(str(target)) == hashlib.sha256(content).hexdigest()

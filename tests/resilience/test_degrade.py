@@ -1,0 +1,127 @@
+"""Tests for graceful numba→numpy degradation on call-time JIT failure."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.kernels.backends.base import NumpyBackend
+from repro.kernels.backends.degrade import JitCallGuard
+
+
+class TestJitCallGuard:
+    def test_first_failure_warns_once_then_stays_silent(self):
+        guard = JitCallGuard("numba")
+        assert not guard.failed
+        with pytest.warns(RuntimeWarning, match="degrading to the numpy"):
+            guard.note_failure(RuntimeError("LLVM exploded"))
+        assert guard.failed
+        assert isinstance(guard.last_error, RuntimeError)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            guard.note_failure(RuntimeError("again"))
+
+    def test_fallback_is_a_cached_numpy_backend(self):
+        guard = JitCallGuard("numba")
+        fallback = guard.fallback()
+        assert isinstance(fallback, NumpyBackend)
+        assert guard.fallback() is fallback
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestNumbaDegrade:
+    """Integration: a jitted kernel raising at call time degrades to numpy
+    with identical results (runs only where numba is installed)."""
+
+    @pytest.fixture
+    def backend_module(self, monkeypatch):
+        pytest.importorskip("numba")
+        from repro.kernels.backends import numba_backend as module
+
+        monkeypatch.setattr(module, "_JIT_GUARD", JitCallGuard("numba"))
+        return module
+
+    @pytest.fixture
+    def problem(self, planted_small):
+        from repro.core.core_tensor import initialize_core, initialize_factors
+        from repro.core.row_update import build_mode_context
+
+        tensor = planted_small.tensor
+        factors = initialize_factors(
+            tensor.shape, (3, 3, 3), np.random.default_rng(0)
+        )
+        core = initialize_core((3, 3, 3), np.random.default_rng(1))
+        context = build_mode_context(tensor, 0)
+        return tensor, factors, core, context
+
+    def _kernel_inputs(self, context):
+        return (
+            context.sorted_indices,
+            context.sorted_values,
+            context.row_starts,
+        )
+
+    def test_call_time_failure_degrades_bitwise_identically(
+        self, backend_module, problem, monkeypatch
+    ):
+        tensor, factors, core, context = problem
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected JIT failure")
+
+        monkeypatch.setattr(backend_module, "_fused_normal_equations", boom)
+        monkeypatch.setattr(
+            backend_module, "_fused_normal_equations_gathered", boom
+        )
+        backend = backend_module.NumbaBackend()
+        indices, values, starts = self._kernel_inputs(context)
+        with pytest.warns(RuntimeWarning, match="degrading to the numpy"):
+            kernel = backend.make_normal_equations_kernel(
+                factors, core, 0, indices.shape[0]
+            )
+            b_matrices, c_vectors = kernel(indices, values, starts)
+
+        reference_kernel = NumpyBackend().make_normal_equations_kernel(
+            factors, core, 0, indices.shape[0]
+        )
+        b_ref, c_ref = reference_kernel(indices, values, starts)
+        assert b_matrices.tobytes() == b_ref.tobytes()
+        assert c_vectors.tobytes() == c_ref.tobytes()
+        assert backend_module._JIT_GUARD.failed
+
+    def test_later_kernels_skip_the_jit_entirely(
+        self, backend_module, problem, monkeypatch
+    ):
+        tensor, factors, core, context = problem
+        backend_module._JIT_GUARD.note_failure(RuntimeError("earlier"))
+        backend = backend_module.NumbaBackend()
+        indices, values, starts = self._kernel_inputs(context)
+        kernel = backend.make_normal_equations_kernel(
+            factors, core, 0, indices.shape[0]
+        )
+        reference_kernel = NumpyBackend().make_normal_equations_kernel(
+            factors, core, 0, indices.shape[0]
+        )
+        b_matrices, c_vectors = kernel(indices, values, starts)
+        b_ref, c_ref = reference_kernel(indices, values, starts)
+        assert b_matrices.tobytes() == b_ref.tobytes()
+        assert c_vectors.tobytes() == c_ref.tobytes()
+
+    def test_delta_contraction_degrades_too(
+        self, backend_module, problem, monkeypatch
+    ):
+        tensor, factors, core, context = problem
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected JIT failure")
+
+        monkeypatch.setattr(backend_module, "_delta_block", boom)
+        monkeypatch.setattr(backend_module, "_delta_block_gathered", boom)
+        backend = backend_module.NumbaBackend()
+        block = context.sorted_indices[:50]
+        with pytest.warns(RuntimeWarning, match="degrading to the numpy"):
+            deltas = backend.contract_delta_block(block, factors, core, 0)
+        reference = NumpyBackend().contract_delta_block(
+            block, factors, core, 0
+        )
+        assert deltas.tobytes() == reference.tobytes()
