@@ -12,6 +12,9 @@ Usage::
     python -m repro shards-migrate /data/shards-v1 --out /data/shards
     python -m repro shards-verify /data/shards
     python -m repro predict model.npz --index 3 17 2 14
+    python -m repro serve model.npz --port 8763
+    python -m repro query model.npz --topk 10 --mode 1 --context 3 7
+    python -m repro query http://127.0.0.1:8763 --index 3 17 2 14
     python -m repro info ratings.tns
 
 (``fit`` is an alias of ``factorize``; ``--shards DIR`` streams the sweeps
@@ -31,7 +34,11 @@ checks an existing store's files against its manifest and exits 0/2.
 format of the paper's released datasets), runs the chosen algorithm, reports
 the convergence trace, and optionally stores the fitted model as ``.npz``
 files.  ``predict`` loads a stored model and evaluates Eq. (4) at the given
-index.  ``info`` prints basic statistics of a tensor file.
+index.  ``serve`` keeps a fitted model resident behind the low-latency
+query layer of :mod:`repro.serve` (HTTP and/or stdin JSON-lines,
+micro-batched, with a ``/stats`` endpoint); ``query`` issues one point or
+top-K query against a local model file or a running ``serve`` URL.
+``info`` prints basic statistics of a tensor file.
 """
 
 from __future__ import annotations
@@ -47,7 +54,7 @@ from .columns import INDEX_DTYPE_POLICIES
 from .core import PTucker, PTuckerApprox, PTuckerCache, PTuckerConfig, TuckerResult
 from .core.sampled import PTuckerSampled
 from .kernels.backends import backend_names_for_cli
-from .resilience.atomic import atomic_open
+from .model_io import load_model, load_result, save_model
 from .tensor import SparseTensor, load_text
 from .tensor.io import DEFAULT_CHUNK_NNZ, open_entry_reader
 
@@ -64,33 +71,8 @@ ALGORITHMS = {
 }
 
 
-def save_model(result: TuckerResult, prefix: str) -> str:
-    """Store a fitted model as ``<prefix>.npz`` and return the file name.
-
-    The archive is written atomically (temporary file, fsync, rename), so
-    a crash mid-save leaves the previous model intact instead of a torn
-    half-archive.
-    """
-    arrays = {"core": result.core, "algorithm": np.asarray(result.algorithm)}
-    for mode, factor in enumerate(result.factors):
-        arrays[f"factor_{mode}"] = factor
-    path = f"{prefix}.npz"
-    with atomic_open(path) as handle:
-        np.savez_compressed(handle, **arrays)
-    return path
-
-
-def load_model(path: str) -> TuckerResult:
-    """Load a model previously written by :func:`save_model`."""
-    with np.load(path, allow_pickle=False) as data:
-        core = data["core"]
-        factors: List[np.ndarray] = []
-        mode = 0
-        while f"factor_{mode}" in data:
-            factors.append(data[f"factor_{mode}"])
-            mode += 1
-        algorithm = str(data["algorithm"]) if "algorithm" in data else ""
-    return TuckerResult(core=core, factors=factors, algorithm=algorithm)
+# save_model / load_model live in repro.model_io (shared with the serving
+# layer); re-exported here because the CLI is their historical home.
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -302,6 +284,100 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("tensor", help="path to a 'i_1 ... i_N value' text file")
     info.add_argument("--zero-based", action="store_true")
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a fitted model over HTTP and/or stdin JSON-lines"
+    )
+    serve.add_argument(
+        "model", help="model .npz written by 'factorize' or a checkpoint directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    serve.add_argument("--port", type=int, default=8763, help="HTTP port")
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="additionally answer JSON-lines requests on stdin",
+    )
+    serve.add_argument(
+        "--no-http",
+        action="store_true",
+        help="disable the HTTP listener (stdin-only serving)",
+    )
+    serve.add_argument(
+        "--shards",
+        metavar="DIR",
+        help="attach the fit's shard store so top-K queries can "
+        "exclude observed entries",
+    )
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map checkpoint factor matrices instead of loading "
+        "them into RAM (checkpoint directories only)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="most requests coalesced into one kernel call (default 256)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="longest a request waits for batch companions (default 2.0)",
+    )
+    serve.add_argument(
+        "--cache-rows",
+        type=int,
+        default=4096,
+        help="projected-vector LRU capacity; 0 disables caching "
+        "(default 4096)",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="query a model file or a running serve endpoint"
+    )
+    query.add_argument(
+        "model",
+        help="model .npz, checkpoint directory, or http://HOST:PORT of a "
+        "running 'serve'",
+    )
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--index",
+        type=int,
+        nargs="+",
+        help="0-based cell index for a point prediction",
+    )
+    group.add_argument(
+        "--topk",
+        type=int,
+        metavar="K",
+        help="return the K best items of --mode for --context",
+    )
+    query.add_argument(
+        "--mode", type=int, default=None, help="item mode ranked by --topk"
+    )
+    query.add_argument(
+        "--context",
+        type=int,
+        nargs="+",
+        default=None,
+        help="query context indices: all modes except --mode (or all modes "
+        "with the --mode position ignored)",
+    )
+    query.add_argument(
+        "--exclude-observed",
+        action="store_true",
+        help="drop items the context has observed entries for "
+        "(needs --shards locally or a server started with --shards)",
+    )
+    query.add_argument(
+        "--shards",
+        metavar="DIR",
+        help="shard store for --exclude-observed when querying a local model",
+    )
+
     return parser
 
 
@@ -479,6 +555,95 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve import ServingModel
+    from .serve.server import serve_model
+
+    model = ServingModel.load(
+        args.model, mmap=args.mmap, query_cache=args.cache_rows
+    )
+    if args.shards:
+        model.attach_store(args.shards)
+    host = None if args.no_http else args.host
+    if host is None and not args.stdio:
+        print(
+            "error: --no-http without --stdio leaves no way to reach the "
+            "server",
+            file=sys.stderr,
+        )
+        return 2
+    serve_model(
+        model,
+        host=host,
+        port=args.port,
+        stdio=args.stdio,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    return 0
+
+
+def _query_remote(args: argparse.Namespace) -> int:
+    import json
+    from urllib import error, request as urlrequest
+
+    base = args.model.rstrip("/")
+    if args.index is not None:
+        path, payload = "/predict", {"index": list(args.index)}
+    else:
+        payload = {
+            "context": list(args.context),
+            "mode": args.mode,
+            "k": args.topk,
+            "exclude_observed": args.exclude_observed,
+        }
+        path = "/topk"
+    body = json.dumps(payload).encode("utf-8")
+    req = urlrequest.Request(
+        base + path, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urlrequest.urlopen(req, timeout=30) as response:
+            reply = json.loads(response.read())
+    except error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"error: server rejected the query: {detail}", file=sys.stderr)
+        return 2
+    except (error.URLError, OSError) as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 2
+    if args.index is not None:
+        print(f"{reply['values'][0]:.6g}")
+    else:
+        for item, score in zip(reply["items"], reply["scores"]):
+            print(f"{item}\t{score:.6g}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if args.topk is not None and (args.mode is None or args.context is None):
+        print(
+            "error: --topk needs --mode and --context", file=sys.stderr
+        )
+        return 2
+    if args.model.startswith(("http://", "https://")):
+        return _query_remote(args)
+    from .serve import ServingModel
+
+    model = ServingModel.load(args.model)
+    if args.shards:
+        model.attach_store(args.shards)
+    if args.index is not None:
+        print(f"{float(model.predict(args.index)[0]):.6g}")
+        return 0
+    result = model.topk(
+        args.context, args.mode, args.topk, args.exclude_observed
+    )
+    for item, score in zip(result.items, result.scores):
+        print(f"{int(item)}\t{float(score):.6g}")
+    return 0
+
+
 def _command_info(args: argparse.Namespace) -> int:
     tensor = load_text(args.tensor, one_based=not args.zero_based)
     print(f"shape: {tensor.shape}")
@@ -510,7 +675,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     treats its directory as a cache, so a v1 store there is rebuilt as
     v2 from the input tensor rather than reported.
     """
-    from .exceptions import DataFormatError
+    from .exceptions import DataFormatError, ShapeError
 
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -527,7 +692,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_predict(args)
         if args.command == "info":
             return _command_info(args)
-    except DataFormatError as exc:
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "query":
+            return _command_query(args)
+    except (DataFormatError, ShapeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     parser.error(f"unknown command {args.command!r}")

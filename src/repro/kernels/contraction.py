@@ -44,9 +44,27 @@ class _ContractionPlan:
     entry blocks: the precontracted table and the contraction schedule only
     depend on the model, so block loops (the solvers' ``block_size`` chunks)
     reuse them instead of rebuilding per block.
+
+    ``batch_invariant=True`` swaps the one BLAS GEMM of :meth:`apply` for
+    an :func:`numpy.einsum` with the same index structure.  BLAS tiles a
+    GEMM differently depending on the batch dimension ``m``, so the same
+    entry evaluated alone and inside a big block can differ in the last
+    ulp; einsum's accumulation order over the contracted axis is fixed
+    per output element regardless of the batch shape.  The serving layer
+    (:mod:`repro.serve`) relies on this so that micro-batching never
+    changes an answer; the fit path keeps the (faster) BLAS default.
     """
 
-    __slots__ = ("factors", "pre", "pre_dims", "flat", "g", "rest", "loop_modes")
+    __slots__ = (
+        "factors",
+        "pre",
+        "pre_dims",
+        "flat",
+        "g",
+        "rest",
+        "loop_modes",
+        "batch_invariant",
+    )
 
     def __init__(
         self,
@@ -54,10 +72,12 @@ class _ContractionPlan:
         core_arr: np.ndarray,
         keep_mode: Optional[int],
         expected_entries: int,
+        batch_invariant: bool = False,
     ) -> None:
         order = core_arr.ndim
         other = [k for k in range(order) if k != keep_mode]
         self.factors = factors
+        self.batch_invariant = bool(batch_invariant)
 
         # Greedy precontraction set: smallest dimensions first, while the
         # table stays under budget and beats the batched cost over the sweep.
@@ -90,8 +110,13 @@ class _ContractionPlan:
             table = np.transpose(table, [axes.index(a) for a in target])
             self.pre_dims = table.shape[: len(pre)]
             self.rest = list(table.shape[len(pre) :])
-            self.flat = table.reshape(
-                int(np.prod(self.pre_dims, dtype=np.int64)), -1
+            # C-contiguous explicitly: when the transpose happens to be
+            # reshapeable as a strided view, ``take`` on the resulting
+            # F-ordered array walks the whole table per gather (measured
+            # ~8 ms on a 16 MB table for a single row) instead of copying
+            # one contiguous row.
+            self.flat = np.ascontiguousarray(
+                table.reshape(int(np.prod(self.pre_dims, dtype=np.int64)), -1)
             )
             self.g = None
             self.loop_modes = batch
@@ -115,10 +140,18 @@ class _ContractionPlan:
             temp = self.flat.take(linear, axis=0)
             loop_modes = self.loop_modes
         else:
-            # First step: the GEMM, batch axis leading.
+            # First step: the GEMM, batch axis leading.  Under
+            # ``batch_invariant`` the same contraction runs as an einsum,
+            # whose per-element accumulation order does not depend on the
+            # batch dimension (BLAS retiles with m and can differ in the
+            # last ulp between a lone entry and the same entry in a block).
             last = self.loop_modes[-1]
             rows = np.asarray(factors[last])[indices_block[:, last]]
-            temp = rows @ self.g.reshape(-1, self.g.shape[-1]).T
+            g2 = self.g.reshape(-1, self.g.shape[-1])
+            if self.batch_invariant:
+                temp = np.einsum("zj,xj->zx", rows, g2)
+            else:
+                temp = rows @ g2.T
             loop_modes = self.loop_modes[:-1]
 
         # Batched steps: the next mode to contract is always the
@@ -138,18 +171,24 @@ def make_delta_contractor(
     core: np.ndarray,
     mode: int,
     expected_entries: int,
+    batch_invariant: bool = False,
 ):
     """A reusable ``indices_block -> (m, J_mode)`` δ kernel for one sweep.
 
     The precontraction tables are built once here; solvers iterating over
     ``block_size`` chunks call the returned function per block without
-    redoing the entry-independent work.
+    redoing the entry-independent work.  ``batch_invariant=True`` makes the
+    result of every row independent of the block it arrived in (see
+    :class:`_ContractionPlan`); the serving layer's rank-space queries use
+    it, fits keep the default.
     """
     core_arr = np.asarray(core, dtype=np.float64)
     if core_arr.ndim == 1 and mode == 0:
         row = core_arr.reshape(1, -1)
         return lambda indices_block: np.tile(row, (indices_block.shape[0], 1))
-    plan = _ContractionPlan(factors, core_arr, mode, expected_entries)
+    plan = _ContractionPlan(
+        factors, core_arr, mode, expected_entries, batch_invariant
+    )
     rank = core_arr.shape[mode]
 
     def contract(indices_block) -> np.ndarray:
@@ -165,10 +204,18 @@ def make_value_contractor(
     factors: Sequence[np.ndarray],
     core: np.ndarray,
     expected_entries: int,
+    batch_invariant: bool = False,
 ):
-    """A reusable ``indices_block -> (m,)`` model-value kernel for one sweep."""
+    """A reusable ``indices_block -> (m,)`` model-value kernel for one sweep.
+
+    ``batch_invariant=True`` makes each entry's value independent of the
+    block it is evaluated in — the serving layer's point predictions use
+    it so micro-batch composition can never change an answer.
+    """
     core_arr = np.asarray(core, dtype=np.float64)
-    plan = _ContractionPlan(factors, core_arr, None, expected_entries)
+    plan = _ContractionPlan(
+        factors, core_arr, None, expected_entries, batch_invariant
+    )
 
     def contract(indices_block) -> np.ndarray:
         indices_block = as_index_block(indices_block)

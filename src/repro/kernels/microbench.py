@@ -56,13 +56,15 @@ from __future__ import annotations
 import gc
 import json
 import os
-import platform
 import tempfile
 import tracemalloc
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..metrics.environment import bench_environment
+from ..metrics.environment import blas_thread_count as _blas_thread_count
 
 from ..core.row_update import (
     brute_force_row_update,
@@ -95,35 +97,10 @@ SMALL_GRID: Tuple[Dict[str, int], ...] = (
 )
 
 
-def blas_thread_count() -> Optional[int]:
-    """Threads the BLAS layer uses, best effort (None when undeterminable).
-
-    Tries ``threadpoolctl`` (authoritative) first, then the conventional
-    environment variables; recorded per benchmark run because BLAS
-    threading changes what a fair per-backend comparison means.
-    """
-    try:
-        from threadpoolctl import threadpool_info
-
-        counts = [
-            info.get("num_threads")
-            for info in threadpool_info()
-            if info.get("user_api") == "blas"
-        ]
-        counts = [c for c in counts if c]
-        if counts:
-            return max(counts)
-    except ImportError:
-        pass
-    for variable in (
-        "OPENBLAS_NUM_THREADS",
-        "MKL_NUM_THREADS",
-        "OMP_NUM_THREADS",
-    ):
-        value = os.environ.get(variable, "").strip()
-        if value.isdigit():
-            return int(value)
-    return None
+#: Re-exported from :mod:`repro.metrics.environment`, the shared home of
+#: benchmark-environment introspection (kept importable from here for the
+#: scripts and tests that predate that module).
+blas_thread_count = _blas_thread_count
 
 
 def _random_problem(
@@ -830,11 +807,7 @@ def run_microbench(
             (row["max_abs_error_vs_brute_force"] for row in rows), default=0.0
         ),
         "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-            "blas_threads": blas_thread_count(),
+            **bench_environment(),
             "numba": HAVE_NUMBA,
         },
     }

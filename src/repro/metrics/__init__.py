@@ -9,8 +9,9 @@ from .errors import (
     rmse_of_values,
     test_rmse,
 )
+from .environment import bench_environment, blas_thread_count
 from .memory import BYTES_PER_FLOAT, MemoryModel, MemoryTracker, TensorAttributes
-from .timing import IterationTimer, Stopwatch
+from .timing import Counters, IterationTimer, LatencyWindow, Stopwatch, percentile
 
 __all__ = [
     "reconstruction_error",
@@ -26,4 +27,9 @@ __all__ = [
     "BYTES_PER_FLOAT",
     "IterationTimer",
     "Stopwatch",
+    "Counters",
+    "LatencyWindow",
+    "percentile",
+    "bench_environment",
+    "blas_thread_count",
 ]

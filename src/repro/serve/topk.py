@@ -1,0 +1,335 @@
+"""Rank-space top-K: BLAS screening, deterministic rescoring, canonical ties.
+
+The serving top-K for a query against item mode ``m`` is::
+
+    q = core ×_{k≠m} u_k          # rank-space projection, shape (J_m,)
+    scores = Q @ U_m^T            # (B, J_m) · (J_m, I_m) -> (B, I_m)
+    topk(scores[b])               # exact K best items per query
+
+The serving layer promises *batched == unbatched == single-query,
+bitwise*.  A plain BLAS GEMM cannot deliver that on its own — BLAS
+retiles with the batch shape, so ``(Q @ P)[i]`` and ``(Q[i:i+1] @ P)[0]``
+can differ in the last ulp (measured on this container, not
+hypothetical) — while a fully deterministic elementwise scorer cannot
+deliver the throughput (its ``O(B·I·J)`` temporary traffic never
+amortises across the batch).  :func:`topk_scores` therefore splits the
+work so each half does what it is good at:
+
+1. **Screen (fast, approximate).**  One BLAS GEMM scores the whole item
+   axis.  These scores are *only* used to select candidates, never
+   returned.
+2. **Margin (rigorous).**  Any float summation of ``J`` products lies
+   within ``γ_J · Σ_j |q_j p_ji|`` of the true value, whatever the
+   accumulation order, so the GEMM score and the deterministic score of
+   an item differ by at most ``Δ = 2 γ_J · ‖q‖_∞ · max_i Σ_j |p_ji|``
+   (:func:`projection_margin`; γ_J ≈ J·ε, and the implementation doubles
+   it for slack).  With τ a value at least ``k`` screening scores reach,
+   every member of the exact top-K — and every exact boundary tie —
+   screens at ``≥ τ - 2Δ``.  The candidate set ``{i : Ŝ_i ≥ τ - 2Δ}``
+   is therefore a provable superset, typically barely larger than ``k``.
+3. **Rescore (exact, deterministic).**  Candidates are rescored by
+   :func:`score_block`, whose explicit per-``j`` elementwise loop fixes
+   each element's accumulation order regardless of batch or block shape,
+   and selected by the canonical rule.
+
+The final answer is the canonical top-K of the *deterministic* scores —
+a pure function of (q, projection, k) — so batch size, row/column
+blocking, and even the screening GEMM's non-determinism cannot change a
+returned item or score.  **Canonical rule** (:func:`canonical_topk`):
+threshold = the K-th largest score; every item strictly above it is in;
+remaining slots go to threshold-tied items in ascending item order;
+final ordering is ``(-score, item)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Chunk width for the screening pass's per-chunk maxima (used to find τ
+#: without a full argpartition per row when ``k`` is small).
+DEFAULT_COL_BLOCK = 2048
+
+#: Cap on screening-matrix size: rows per GEMM chunk is chosen so the
+#: ``(rows, I_m)`` score block stays near 256 MB however large the batch.
+SCREEN_BLOCK_CELLS = 32_000_000
+
+#: Largest rows-per-chunk even for tiny item modes.
+MAX_ROW_BLOCK = 1024
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Top-K items for one query, ordered by ``(-score, item)``."""
+
+    items: np.ndarray  # (k,) int64 item indices
+    scores: np.ndarray  # (k,) float64 scores
+
+
+def score_block(q_rows: np.ndarray, projection_block: np.ndarray) -> np.ndarray:
+    """``(rows, J) x (J, C) -> (rows, C)`` scores, batch-shape invariant.
+
+    ``projection_block`` is (a column subset of) the precomputed item
+    projection ``U_m^T`` — rank-major, so each ``projection_block[j]`` is
+    a contiguous run of item coefficients.  The rank axis is accumulated
+    with an explicit ``j`` loop of elementwise multiply-adds into a
+    preallocated output: element ``[b, i]`` is always
+    ``(((q[b,0]·p[0,i]) + q[b,1]·p[1,i]) + ...)`` no matter the number of
+    rows, which columns were gathered, or the surrounding batch.  This is
+    the scorer of record — every returned score comes from here.
+    """
+    rows = q_rows.shape[0]
+    cols = projection_block.shape[1]
+    out = np.zeros((rows, cols), dtype=np.float64)
+    tmp = np.empty((rows, cols), dtype=np.float64)
+    for j in range(q_rows.shape[1]):
+        np.multiply(q_rows[:, j : j + 1], projection_block[j], out=tmp)
+        out += tmp
+    return out
+
+
+def score_pairs(
+    q_block: np.ndarray,
+    item_projection: np.ndarray,
+    row_map: np.ndarray,
+    col_map: np.ndarray,
+) -> np.ndarray:
+    """Deterministic scores of ``(row, item)`` pairs, one per map entry.
+
+    Computes ``out[t] = q_block[row_map[t]] · item_projection[:, col_map[t]]``
+    with the same explicit per-``j`` sequential accumulation as
+    :func:`score_block` — element ``t`` sees the identical IEEE operation
+    sequence, so the result is bitwise equal to gathering
+    ``score_block(q_block, item_projection)[row_map, col_map]`` while only
+    touching the candidate pairs.  This is how the batched path rescores
+    every row's candidates in one vectorized pass.
+    """
+    total = row_map.shape[0]
+    out = np.zeros(total, dtype=np.float64)
+    tmp = np.empty(total, dtype=np.float64)
+    for j in range(q_block.shape[1]):
+        np.multiply(q_block[row_map, j], item_projection[j, col_map], out=tmp)
+        out += tmp
+    return out
+
+
+def projection_margin(item_projection: np.ndarray) -> float:
+    """``max_i Σ_j |p_ji|`` — the screening error scale of a projection.
+
+    Computed once per (model, mode); multiplied by ``‖q‖_∞`` and the
+    summation constant it bounds how far any two float orderings of a
+    score can disagree (step 2 of the module docstring).
+    """
+    if item_projection.size == 0:
+        return 0.0
+    return float(np.abs(item_projection).sum(axis=0).max())
+
+
+def canonical_topk(
+    scores: np.ndarray, k: int, exclude: Optional[np.ndarray] = None
+) -> TopKResult:
+    """Exact top-K of one score vector under the canonical tie rule.
+
+    ``exclude`` is an optional int array of item indices removed from
+    consideration (observed entries).  ``k`` larger than the number of
+    eligible items returns them all.  Ordering: descending score, ties by
+    ascending item index — a pure function of the values, so every
+    scoring/screening strategy must reproduce it exactly.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if exclude is not None and len(exclude):
+        eligible = np.ones(scores.shape[0], dtype=bool)
+        eligible[np.asarray(exclude, dtype=np.int64)] = False
+        candidates = np.nonzero(eligible)[0]
+    else:
+        candidates = np.arange(scores.shape[0], dtype=np.int64)
+    k = min(int(k), candidates.shape[0])
+    if k <= 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return TopKResult(items=empty, scores=np.zeros(0, dtype=np.float64))
+    return _select_canonical(scores[candidates], candidates, k)
+
+
+def _select_canonical(
+    values: np.ndarray, items: np.ndarray, k: int
+) -> TopKResult:
+    """Canonical top-``k`` over candidate ``values`` labelled by ``items``.
+
+    ``items`` must be ascending and ``k`` already clamped to
+    ``len(values) >= k >= 1``.
+    """
+    if k < values.shape[0]:
+        # Threshold = k-th largest value; selection is by value comparison
+        # only, so argpartition's internal tie behaviour cannot leak.
+        threshold = values[np.argpartition(values, -k)[-k]]
+        above = items[values > threshold]
+        need = k - above.shape[0]
+        at = items[values == threshold]
+        # Ties at the boundary: smallest item indices win.  ``items`` is
+        # ascending, so ``at`` is already sorted.
+        chosen = np.concatenate([above, at[:need]])
+    else:
+        chosen = items
+    chosen_scores = values[np.searchsorted(items, chosen)]
+    order = np.lexsort((chosen, -chosen_scores))
+    return TopKResult(
+        items=chosen[order].astype(np.int64, copy=False),
+        scores=chosen_scores[order],
+    )
+
+
+def _exact_row(
+    q_row: np.ndarray,
+    item_projection: np.ndarray,
+    k: int,
+    exclude: Optional[np.ndarray],
+) -> TopKResult:
+    """Deterministic full-scan reference path (exclusion / degenerate rows)."""
+    scores = score_block(q_row.reshape(1, -1), item_projection)[0]
+    return canonical_topk(scores, k, exclude)
+
+
+def topk_scores(
+    q_block: np.ndarray,
+    item_projection: np.ndarray,
+    k: int,
+    exclude: Optional[List[Optional[np.ndarray]]] = None,
+    margin: Optional[float] = None,
+    col_block: int = DEFAULT_COL_BLOCK,
+    row_block: Optional[int] = None,
+) -> List[TopKResult]:
+    """Top-K per row of ``q_block`` against an item projection matrix.
+
+    ``q_block`` is ``(B, J)``, ``item_projection`` the precomputed
+    rank-major ``(J, I)`` transpose of the item factor; returns one
+    :class:`TopKResult` per query.  ``exclude`` optionally carries one
+    index array (or None) per query (those rows take the deterministic
+    full-scan path).  ``margin`` is :func:`projection_margin` of the
+    projection — pass the cached value to skip recomputation.
+
+    Implements the screen → margin → rescore pipeline of the module
+    docstring: results are bitwise identical to scoring every item with
+    :func:`score_block` and calling :func:`canonical_topk` row by row —
+    for any batch size and any block geometry.
+    """
+    q_block = np.ascontiguousarray(q_block, dtype=np.float64)
+    rank = q_block.shape[1]
+    items_total = item_projection.shape[1]
+    k = min(int(k), items_total)
+    if items_total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return [
+            TopKResult(items=empty, scores=np.zeros(0, dtype=np.float64))
+            for _ in range(q_block.shape[0])
+        ]
+    if k <= 0:
+        return [
+            TopKResult(
+                items=np.zeros(0, dtype=np.int64),
+                scores=np.zeros(0, dtype=np.float64),
+            )
+            for _ in range(q_block.shape[0])
+        ]
+    if margin is None:
+        margin = projection_margin(item_projection)
+    if row_block is None:
+        row_block = max(
+            1, min(MAX_ROW_BLOCK, SCREEN_BLOCK_CELLS // max(items_total, 1))
+        )
+    n_chunks = max(1, -(-items_total // col_block))
+    chunk_starts = np.arange(0, items_total, col_block)
+    eps = float(np.finfo(np.float64).eps)
+    results: List[Optional[TopKResult]] = [None] * q_block.shape[0]
+
+    for row_start in range(0, q_block.shape[0], row_block):
+        row_stop = min(row_start + row_block, q_block.shape[0])
+        rows = q_block[row_start:row_stop]
+        n_rows = rows.shape[0]
+        # Screening pass: one BLAS GEMM for the whole row chunk, plus
+        # per-chunk maxima to find τ without a full per-row argpartition.
+        screen = rows @ item_projection
+        # Chunk maxima via a reshaped reduction (remainder chunk apart) —
+        # same values as maximum.reduceat but a contiguous inner loop.
+        main = (items_total // col_block) * col_block
+        if main:
+            chunk_max = screen[:, :main].reshape(n_rows, -1, col_block).max(
+                axis=2
+            )
+            if main < items_total:
+                tail = screen[:, main:].max(axis=1, keepdims=True)
+                chunk_max = np.concatenate([chunk_max, tail], axis=1)
+        else:
+            chunk_max = screen.max(axis=1, keepdims=True)
+        # τ per row: a value at least k screening scores reach.  Each chunk
+        # maximum is a real screening score, so the k-th largest chunk
+        # maximum qualifies when there are at least k chunks; otherwise
+        # fall back to each row's k-th largest score.  Thresholds carry the
+        # per-row float error margin (2Δ of the module docstring, doubled).
+        if n_chunks > k:
+            taus = np.partition(chunk_max, n_chunks - k, axis=1)[
+                :, n_chunks - k
+            ]
+        else:
+            taus = np.partition(screen, items_total - k, axis=1)[
+                :, items_total - k
+            ]
+        q_max = np.abs(rows).max(axis=1) if rank else np.zeros(n_rows)
+        thresholds = taus - 4.0 * rank * eps * q_max * margin
+        # Rows without exclusions/degeneracy accumulate their candidates
+        # here and are rescored together in one score_pairs pass.
+        pending_rows: List[int] = []
+        pending_cands: List[np.ndarray] = []
+        for local, row in enumerate(range(row_start, row_stop)):
+            row_exclude = exclude[row] if exclude is not None else None
+            if row_exclude is not None and len(row_exclude):
+                results[row] = _exact_row(
+                    q_block[row], item_projection, k, row_exclude
+                )
+                continue
+            threshold = thresholds[local]
+            # Only chunks whose maximum clears the threshold can contain a
+            # candidate — scan those instead of the whole row (the chunks
+            # that establish τ always qualify, so ≥ k candidates survive).
+            live = np.nonzero(chunk_max[local] >= threshold)[0]
+            if live.shape[0] * col_block >= items_total:
+                candidates = np.nonzero(screen[local] >= threshold)[0]
+            else:
+                parts = []
+                for c in live:
+                    start = int(chunk_starts[c])
+                    stop = min(start + col_block, items_total)
+                    hits = np.nonzero(screen[local, start:stop] >= threshold)[0]
+                    parts.append(hits + start)
+                candidates = (
+                    np.concatenate(parts)
+                    if parts
+                    else np.zeros(0, dtype=np.int64)
+                )
+            if candidates.shape[0] >= items_total // 2:
+                # Degenerate screen (massive ties, zero query): the exact
+                # scan costs the same as rescoring everything.
+                results[row] = _exact_row(
+                    q_block[row], item_projection, k, None
+                )
+                continue
+            pending_rows.append(row)
+            pending_cands.append(candidates)
+        if pending_rows:
+            counts = [c.shape[0] for c in pending_cands]
+            row_map = np.repeat(
+                np.asarray(pending_rows, dtype=np.int64), counts
+            )
+            col_map = np.concatenate(pending_cands)
+            exact = score_pairs(q_block, item_projection, row_map, col_map)
+            offset = 0
+            for row, candidates in zip(pending_rows, pending_cands):
+                count = candidates.shape[0]
+                results[row] = _select_canonical(
+                    exact[offset : offset + count],
+                    candidates,
+                    min(k, count),
+                )
+                offset += count
+    return [r for r in results if r is not None]

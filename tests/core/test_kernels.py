@@ -80,6 +80,51 @@ class TestContraction:
         assert contract_value_block(empty, factors, core).shape == (0,)
 
 
+class TestBatchInvariantContraction:
+    """``batch_invariant=True`` makes results independent of block shape."""
+
+    def test_rows_alone_equal_rows_in_block_bitwise(self, rng, monkeypatch):
+        tensor, factors, core = random_problem(rng, (9, 8, 7), (3, 4, 2), 70)
+        # Zero table budget forces the batched GEMM/einsum path — the one
+        # whose accumulation order the flag pins down.
+        monkeypatch.setattr(contraction_module, "PRECONTRACT_CELL_BUDGET", 0)
+        delta = contraction_module.make_delta_contractor(
+            factors, core, 1, tensor.nnz, batch_invariant=True
+        )
+        value = contraction_module.make_value_contractor(
+            factors, core, tensor.nnz, batch_invariant=True
+        )
+        block_delta = delta(tensor.indices)
+        block_value = value(tensor.indices)
+        for row in (0, 7, tensor.nnz - 1):
+            single = tensor.indices[row : row + 1]
+            np.testing.assert_array_equal(delta(single)[0], block_delta[row])
+            np.testing.assert_array_equal(value(single)[0], block_value[row])
+
+    def test_split_block_equals_whole_block_bitwise(self, rng, monkeypatch):
+        tensor, factors, core = random_problem(rng, (8, 7, 6), (3, 2, 4), 64)
+        monkeypatch.setattr(contraction_module, "PRECONTRACT_CELL_BUDGET", 0)
+        delta = contraction_module.make_delta_contractor(
+            factors, core, 0, tensor.nnz, batch_invariant=True
+        )
+        whole = delta(tensor.indices)
+        halves = np.concatenate(
+            [delta(tensor.indices[:31]), delta(tensor.indices[31:])]
+        )
+        np.testing.assert_array_equal(halves, whole)
+
+    def test_matches_default_path_numerically(self, rng, monkeypatch):
+        tensor, factors, core = random_problem(rng, (9, 8, 7), (3, 4, 2), 70)
+        monkeypatch.setattr(contraction_module, "PRECONTRACT_CELL_BUDGET", 0)
+        default = contraction_module.make_delta_contractor(
+            factors, core, 1, tensor.nnz
+        )(tensor.indices)
+        invariant = contraction_module.make_delta_contractor(
+            factors, core, 1, tensor.nnz, batch_invariant=True
+        )(tensor.indices)
+        np.testing.assert_allclose(invariant, default, atol=1e-12)
+
+
 class TestSegments:
     def test_block_segment_starts(self):
         ids = np.array([4, 4, 7, 9, 9, 9])

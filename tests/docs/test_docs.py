@@ -60,9 +60,19 @@ def test_readme_documents_the_cli_flags():
         "--checkpoint-dir",
         "--checkpoint-every",
         "--resume",
+        "--topk",
+        "--mode",
+        "--context",
+        "--exclude-observed",
+        "--max-batch",
+        "--max-wait-ms",
+        "--cache-rows",
+        "--stdio",
+        "--no-http",
+        "--mmap",
     ):
         assert flag in text, f"README CLI table is missing {flag}"
-    for command in ("ingest", "shards-migrate", "shards-verify"):
+    for command in ("ingest", "shards-migrate", "shards-verify", "serve", "query"):
         assert command in text, f"README CLI table is missing {command}"
     assert "rcoo" in text, "README does not mention the rcoo container"
 
@@ -85,6 +95,14 @@ def test_readme_documents_the_cli_flags():
         ("repro.resilience.checkpoint", ("manifest", "bitwise", "resume")),
         ("repro.kernels.backends.degrade", ("numpy", "RuntimeWarning")),
         ("repro.parallel.executor", ("WorkerFailureError", "re-dispatch")),
+        ("repro.serve", ("ServingModel", "rank space", "micro-batch")),
+        ("repro.serve.topk", ("canonical", "bitwise", "margin")),
+        ("repro.serve.cache", ("LRUCache", "hit", "evict")),
+        ("repro.serve.batch", ("MicroBatcher", "max_batch", "deadline")),
+        ("repro.serve.server", ("ModelServer", "/stats", "shutdown")),
+        ("repro.model_io", ("save_model", "load_result", "digest")),
+        ("repro.metrics.timing", ("Counters", "LatencyWindow", "percentile")),
+        ("repro.metrics.environment", ("single_cpu_caveat", "blas")),
     ],
 )
 def test_pydoc_renders_public_api(module, expected):

@@ -1,0 +1,164 @@
+"""MicroBatcher: coalescing, deadlines, error forwarding, drain/close."""
+
+import asyncio
+
+import pytest
+
+from repro.metrics import Counters
+from repro.serve import MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class RecordingHandler:
+    """Synchronous batch handler that records every (group, payloads) call."""
+
+    def __init__(self, fail_on=None):
+        self.calls = []
+        self.fail_on = fail_on
+
+    def __call__(self, group, payloads):
+        self.calls.append((group, list(payloads)))
+        if self.fail_on is not None and self.fail_on in payloads:
+            raise RuntimeError(f"bad payload {self.fail_on}")
+        return [("done", p) for p in payloads]
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_share_one_batch(self):
+        handler = RecordingHandler()
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=16, max_wait_ms=20.0)
+            results = await asyncio.gather(
+                *(batcher.submit("g", i) for i in range(5))
+            )
+            await batcher.close()
+            return results
+
+        results = run(scenario())
+        assert results == [("done", i) for i in range(5)]
+        assert len(handler.calls) == 1  # all five rode one batch
+        assert handler.calls[0] == ("g", [0, 1, 2, 3, 4])
+
+    def test_full_batch_flushes_immediately(self):
+        handler = RecordingHandler()
+
+        async def scenario():
+            # max_wait so large that only the size trigger can flush.
+            batcher = MicroBatcher(handler, max_batch=2, max_wait_ms=60_000.0)
+            results = await asyncio.gather(
+                batcher.submit("g", "a"), batcher.submit("g", "b")
+            )
+            await batcher.close()
+            return results
+
+        assert run(scenario()) == [("done", "a"), ("done", "b")]
+        assert len(handler.calls) == 1
+
+    def test_deadline_flushes_a_lone_request(self):
+        handler = RecordingHandler()
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=64, max_wait_ms=5.0)
+            result = await asyncio.wait_for(batcher.submit("g", 7), timeout=5.0)
+            await batcher.close()
+            return result
+
+        assert run(scenario()) == ("done", 7)
+
+    def test_groups_do_not_mix(self):
+        handler = RecordingHandler()
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=16, max_wait_ms=20.0)
+            await asyncio.gather(
+                batcher.submit(("topk", 1, 5), "x"),
+                batcher.submit(("topk", 2, 5), "y"),
+            )
+            await batcher.close()
+
+        run(scenario())
+        groups = sorted(group for group, _ in handler.calls)
+        assert groups == [("topk", 1, 5), ("topk", 2, 5)]
+
+
+class TestErrors:
+    def test_handler_exception_reaches_every_awaiter(self):
+        handler = RecordingHandler(fail_on="b")
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=2, max_wait_ms=60_000.0)
+            results = await asyncio.gather(
+                batcher.submit("g", "a"),
+                batcher.submit("g", "b"),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_wrong_result_count_is_an_error(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                lambda group, payloads: [], max_batch=1, max_wait_ms=1.0
+            )
+            try:
+                with pytest.raises(RuntimeError, match="0 results"):
+                    await batcher.submit("g", 1)
+            finally:
+                await batcher.close()
+
+        run(scenario())
+
+    def test_submit_after_close_is_rejected(self):
+        async def scenario():
+            batcher = MicroBatcher(RecordingHandler(), max_batch=4)
+            await batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.submit("g", 1)
+
+        run(scenario())
+
+    def test_max_batch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(RecordingHandler(), max_batch=0)
+
+
+class TestDrainAndStats:
+    def test_close_flushes_pending_requests(self):
+        handler = RecordingHandler()
+
+        async def scenario():
+            # Deadline far away: only close() can flush this.
+            batcher = MicroBatcher(handler, max_batch=64, max_wait_ms=60_000.0)
+            pending = asyncio.ensure_future(batcher.submit("g", 1))
+            await asyncio.sleep(0)  # let submit enqueue
+            await batcher.close()
+            return await pending
+
+        assert run(scenario()) == ("done", 1)
+
+    def test_occupancy_counters(self):
+        handler = RecordingHandler()
+        counters = Counters()
+
+        async def scenario():
+            batcher = MicroBatcher(
+                handler, max_batch=3, max_wait_ms=60_000.0, counters=counters
+            )
+            await asyncio.gather(*(batcher.submit("g", i) for i in range(6)))
+            await batcher.close()
+            return batcher.snapshot()
+
+        snapshot = run(scenario())
+        assert snapshot["requests"] == 6
+        assert snapshot["batches"] == 2
+        assert snapshot["full_flushes"] == 2
+        assert snapshot["max_occupancy"] == 3
+        assert snapshot["mean_occupancy"] == 3.0
+        assert counters.get("batch.requests") == 6

@@ -1,0 +1,95 @@
+"""LRU hot-row cache: eviction order, counters, disabled mode."""
+
+from repro.metrics import Counters
+from repro.serve import LRUCache
+
+
+class TestLRUBehaviour:
+    def test_get_returns_cached_value(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # 'a' is now more recent than 'b'
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_existing_key_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not grow
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+        assert len(cache) == 2
+
+    def test_get_or_compute_only_computes_on_miss(self):
+        calls = []
+        cache = LRUCache(4)
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("k", compute) == 42
+        assert cache.get_or_compute("k", compute) == 42
+        assert len(calls) == 1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.snapshot()["hits"] == 1
+
+
+class TestDisabledCache:
+    def test_zero_capacity_stores_nothing(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_zero_capacity_always_recomputes(self):
+        calls = []
+        cache = LRUCache(0)
+        for _ in range(3):
+            cache.get_or_compute("k", lambda: calls.append(1) or len(calls))
+        assert len(calls) == 3
+
+
+class TestCounters:
+    def test_hit_miss_eviction_counts(self):
+        cache = LRUCache(1, name="rows")
+        cache.get("a")  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        cache.put("b", 2)  # evicts 'a'
+        snapshot = cache.snapshot()
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["evictions"] == 1
+        assert snapshot["hit_rate"] == 0.5
+        assert snapshot["size"] == 1
+        assert snapshot["capacity"] == 1
+
+    def test_shared_counters_namespace_events_by_name(self):
+        shared = Counters()
+        rows = LRUCache(2, name="rows", counters=shared)
+        queries = LRUCache(2, name="queries", counters=shared)
+        rows.get("x")
+        queries.get("y")
+        queries.get("y")
+        assert shared.get("rows.miss") == 1
+        assert shared.get("queries.miss") == 2
+        # No cross-talk: each cache's snapshot reads only its own labels.
+        assert rows.snapshot()["misses"] == 1

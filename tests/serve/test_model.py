@@ -1,0 +1,214 @@
+"""ServingModel: brute-force equivalence, batch invariance, caches, exclusion."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError, ShapeError
+from repro.serve import ServingModel
+from repro.serve.topk import canonical_topk
+
+
+def make_model(shape, ranks, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    factors = [rng.standard_normal((i, j)) for i, j in zip(shape, ranks)]
+    core = rng.standard_normal(ranks)
+    return ServingModel(factors, core, algorithm="ptucker", **kwargs), factors, core
+
+
+def dense_mode_scores(factors, core, context, mode):
+    """Brute force: reconstruct the whole fibre along ``mode`` densely."""
+    q = core
+    axis_modes = list(range(core.ndim))
+    for k in range(core.ndim):
+        if k == mode:
+            continue
+        pos = axis_modes.index(k)
+        q = np.tensordot(q, np.asarray(factors[k][context[k]]), axes=([pos], [0]))
+        axis_modes.pop(pos)
+    # q now has mode's rank axis only.
+    return np.asarray(factors[mode]) @ q.reshape(-1)
+
+
+class TestTopkAgainstDenseReconstruction:
+    @pytest.mark.parametrize(
+        "shape,ranks",
+        [
+            ((9, 40, 6), (2, 3, 2)),  # order 3
+            ((7, 55, 5, 4), (2, 4, 2, 2)),  # order 4, ragged ranks
+            ((5, 30, 4, 3, 3), (1, 3, 2, 2, 1)),  # order 5
+        ],
+    )
+    def test_topk_equals_dense_brute_force(self, shape, ranks):
+        model, factors, core = make_model(shape, ranks, seed=len(shape))
+        rng = np.random.default_rng(99)
+        mode = 1
+        for trial in range(8):
+            context = tuple(int(rng.integers(d)) for d in shape)
+            k = int(rng.integers(1, shape[mode] + 2))
+            result = model.topk(context, mode, k)
+            dense = dense_mode_scores(factors, core, context, mode)
+            expected = canonical_topk(dense, k)
+            np.testing.assert_array_equal(result.items, expected.items)
+            np.testing.assert_allclose(
+                result.scores, dense[result.items], rtol=1e-10
+            )
+
+    def test_every_mode_can_be_the_item_mode(self):
+        model, factors, core = make_model((8, 12, 10), (2, 3, 4), seed=5)
+        context = (3, 7, 9)
+        for mode in range(3):
+            result = model.topk(context, mode, 4)
+            dense = dense_mode_scores(factors, core, context, mode)
+            expected = canonical_topk(dense, 4)
+            np.testing.assert_array_equal(result.items, expected.items)
+
+
+class TestBatchInvariance:
+    def test_batched_unbatched_single_identical_bitwise(self):
+        model, _, _ = make_model((20, 3000, 9), (3, 5, 2), seed=2)
+        rng = np.random.default_rng(3)
+        contexts = [
+            tuple(int(rng.integers(d)) for d in (20, 3000, 9)) for _ in range(40)
+        ]
+        batch = model.topk_batch(contexts, 1, 7)
+        # Fresh model: no cache interaction between the two paths.
+        model2, _, _ = make_model((20, 3000, 9), (3, 5, 2), seed=2)
+        singles = [model2.topk(c, 1, 7) for c in contexts]
+        for b, s in zip(batch, singles):
+            np.testing.assert_array_equal(b.items, s.items)
+            np.testing.assert_array_equal(b.scores, s.scores)
+
+    def test_cache_hits_do_not_change_answers(self):
+        model, _, _ = make_model((10, 500, 4), (2, 3, 2), seed=4)
+        context = (7, 0, 2)
+        first = model.topk(context, 1, 5)
+        again = model.topk(context, 1, 5)  # q comes from the cache now
+        np.testing.assert_array_equal(first.items, again.items)
+        np.testing.assert_array_equal(first.scores, again.scores)
+        assert model.counters.get("query_cache.hit") >= 1
+
+    def test_predict_batch_invariant_bitwise(self):
+        model, _, _ = make_model((15, 80, 7), (3, 4, 2), seed=6)
+        rng = np.random.default_rng(7)
+        block = np.column_stack(
+            [rng.integers(d, size=64) for d in (15, 80, 7)]
+        )
+        batched = model.predict(block)
+        singles = np.array([model.predict(row)[0] for row in block])
+        np.testing.assert_array_equal(batched, singles)
+
+
+class TestEdgeCases:
+    def test_k_larger_than_mode_dimension(self):
+        model, factors, core = make_model((6, 9, 5), (2, 2, 2), seed=8)
+        result = model.topk((2, 0, 1), 1, 50)
+        assert len(result.items) == 9
+
+    def test_k_zero(self):
+        model, _, _ = make_model((6, 9, 5), (2, 2, 2), seed=8)
+        result = model.topk((2, 0, 1), 1, 0)
+        assert result.items.shape == (0,)
+
+    def test_empty_user_row_scores_zero_everywhere(self):
+        model, factors, core = make_model((6, 9, 5), (2, 2, 2), seed=9)
+        factors[0][3] = 0.0  # an all-zero (cold / empty) user row
+        model = ServingModel(factors, core)
+        result = model.topk((3, 0, 2), 1, 9)
+        np.testing.assert_array_equal(result.scores, np.zeros(9))
+        # Ties broken canonically: ascending item order.
+        np.testing.assert_array_equal(result.items, np.arange(9))
+
+    def test_short_context_form(self):
+        model, factors, core = make_model((6, 9, 5), (2, 2, 2), seed=10)
+        full = model.topk((4, 0, 3), 1, 4)
+        short = model.topk((4, 3), 1, 4)  # item-mode position omitted
+        np.testing.assert_array_equal(full.items, short.items)
+        np.testing.assert_array_equal(full.scores, short.scores)
+
+    def test_bad_context_raises_shape_error(self):
+        model, _, _ = make_model((6, 9, 5), (2, 2, 2), seed=11)
+        with pytest.raises(ShapeError):
+            model.topk((4,), 1, 3)
+        with pytest.raises(ShapeError):
+            model.topk((6, 0, 0), 1, 3)  # mode-0 index out of range
+        with pytest.raises(ShapeError):
+            model.topk((0, 0, 0), 7, 3)
+        with pytest.raises(ShapeError):
+            model.predict((0, 0))
+
+    def test_empty_batch(self):
+        model, _, _ = make_model((6, 9, 5), (2, 2, 2), seed=12)
+        assert model.topk_batch([], 1, 3) == []
+
+    def test_inconsistent_model_rejected(self):
+        rng = np.random.default_rng(0)
+        factors = [rng.standard_normal((4, 2)), rng.standard_normal((5, 3))]
+        with pytest.raises(DataFormatError):
+            ServingModel(factors, np.zeros((2, 2)))
+
+
+class TestExcludeObserved:
+    def test_requires_a_store(self):
+        model, _, _ = make_model((6, 9, 5), (2, 2, 2), seed=13)
+        with pytest.raises(DataFormatError):
+            model.topk((0, 0, 0), 1, 3, exclude_observed=True)
+
+    def test_observed_items_are_masked(self, tmp_path):
+        from repro.shards import ShardStore
+        from repro.tensor import SparseTensor
+
+        model, factors, core = make_model((6, 9, 5), (2, 2, 2), seed=14)
+        indices = np.array(
+            [[2, 1, 3], [2, 4, 3], [2, 7, 3], [2, 4, 0], [5, 4, 3]]
+        )
+        tensor = SparseTensor(
+            indices=indices, values=np.ones(5), shape=(6, 9, 5)
+        )
+        store = ShardStore.build(tensor, str(tmp_path / "shards"))
+        model.attach_store(store)
+        result = model.topk((2, 0, 3), 1, 9, exclude_observed=True)
+        # Only the entries matching the full context (2, *, 3) are excluded.
+        assert set(result.items) == set(range(9)) - {1, 4, 7}
+        # And the kept scores agree with the unmasked ranking.
+        unmasked = model.topk((2, 0, 3), 1, 9)
+        kept = {int(i): float(s) for i, s in zip(unmasked.items, unmasked.scores)}
+        for item, score in zip(result.items, result.scores):
+            assert kept[int(item)] == score
+
+    def test_context_with_no_observations_excludes_nothing(self, tmp_path):
+        from repro.shards import ShardStore
+        from repro.tensor import SparseTensor
+
+        model, _, _ = make_model((6, 9, 5), (2, 2, 2), seed=15)
+        tensor = SparseTensor(
+            indices=np.array([[0, 0, 0]]), values=np.ones(1), shape=(6, 9, 5)
+        )
+        model.attach_store(ShardStore.build(tensor, str(tmp_path / "shards")))
+        plain = model.topk((3, 0, 2), 1, 4)
+        masked = model.topk((3, 0, 2), 1, 4, exclude_observed=True)
+        np.testing.assert_array_equal(plain.items, masked.items)
+
+    def test_store_shape_mismatch_rejected(self, tmp_path):
+        from repro.shards import ShardStore
+        from repro.tensor import SparseTensor
+
+        model, _, _ = make_model((6, 9, 5), (2, 2, 2), seed=16)
+        tensor = SparseTensor(
+            indices=np.array([[0, 0]]), values=np.ones(1), shape=(3, 3)
+        )
+        store = ShardStore.build(tensor, str(tmp_path / "shards"))
+        with pytest.raises(ShapeError):
+            model.attach_store(store)
+
+
+class TestStats:
+    def test_stats_payload_shape(self):
+        model, _, _ = make_model((6, 9, 5), (2, 3, 2), seed=17)
+        model.topk((0, 0, 0), 1, 3)
+        model.predict((1, 2, 3))
+        stats = model.stats()
+        assert stats["shape"] == [6, 9, 5]
+        assert stats["ranks"] == [2, 3, 2]
+        assert stats["counters"]["model.topk_queries"] == 1
+        assert stats["counters"]["model.predictions"] == 1
+        assert stats["query_cache"]["misses"] == 1

@@ -1,0 +1,169 @@
+"""Canonical top-K selection and the deterministic blocked scorer."""
+
+import numpy as np
+import pytest
+
+from repro.serve.topk import (
+    TopKResult,
+    canonical_topk,
+    score_block,
+    score_pairs,
+    topk_scores,
+)
+
+
+def brute_topk(scores, k, exclude=None):
+    """Reference selection straight from the canonical definition."""
+    scores = np.asarray(scores, dtype=np.float64)
+    items = np.arange(scores.shape[0])
+    if exclude is not None and len(exclude):
+        keep = np.ones(scores.shape[0], dtype=bool)
+        keep[np.asarray(exclude)] = False
+        items = items[keep]
+    order = sorted(items, key=lambda i: (-scores[i], i))[: min(k, len(items))]
+    chosen = np.asarray(order, dtype=np.int64)
+    return TopKResult(items=chosen, scores=scores[chosen])
+
+
+def assert_same(a: TopKResult, b: TopKResult):
+    np.testing.assert_array_equal(a.items, b.items)
+    np.testing.assert_array_equal(a.scores, b.scores)
+
+
+class TestCanonicalTopk:
+    def test_matches_brute_force_on_random_vectors(self):
+        rng = np.random.default_rng(0)
+        for trial in range(25):
+            n = int(rng.integers(1, 400))
+            scores = rng.standard_normal(n)
+            k = int(rng.integers(0, n + 3))
+            assert_same(canonical_topk(scores, k), brute_topk(scores, k))
+
+    def test_ties_at_the_k_boundary_pick_smallest_items(self):
+        scores = np.array([1.0, 5.0, 3.0, 3.0, 3.0, 0.0])
+        result = canonical_topk(scores, 3)
+        # 5.0 first, then the tied 3.0s by ascending index.
+        assert list(result.items) == [1, 2, 3]
+
+    def test_all_tied(self):
+        result = canonical_topk(np.zeros(10), 4)
+        assert list(result.items) == [0, 1, 2, 3]
+
+    def test_k_at_least_dimension_returns_everything(self):
+        scores = np.array([2.0, -1.0, 3.0])
+        for k in (3, 4, 100):
+            result = canonical_topk(scores, k)
+            assert list(result.items) == [2, 0, 1]
+
+    def test_k_zero_is_empty(self):
+        result = canonical_topk(np.ones(5), 0)
+        assert result.items.shape == (0,)
+        assert result.scores.shape == (0,)
+
+    def test_exclusion(self):
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal(50)
+        exclude = np.array([int(np.argmax(scores)), 7, 7, 12])
+        result = canonical_topk(scores, 5, exclude)
+        assert_same(result, brute_topk(scores, 5, exclude))
+        assert not set(exclude) & set(result.items)
+
+    def test_excluding_everything_is_empty(self):
+        scores = np.arange(4.0)
+        result = canonical_topk(scores, 2, np.arange(4))
+        assert result.items.shape == (0,)
+
+
+class TestScoreBlock:
+    def test_matches_gemm_values(self):
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((5, 7))
+        projection = rng.standard_normal((7, 33))
+        np.testing.assert_allclose(
+            score_block(q, projection), q @ projection, rtol=1e-12
+        )
+
+    def test_batch_shape_invariant_bitwise(self):
+        rng = np.random.default_rng(3)
+        q = rng.standard_normal((64, 16))
+        projection = rng.standard_normal((16, 501))
+        full = score_block(q, projection)
+        one = score_block(q[17:18], projection)
+        np.testing.assert_array_equal(full[17], one[0])
+
+    def test_score_pairs_bitwise_equal_to_score_block_gather(self):
+        rng = np.random.default_rng(8)
+        q = rng.standard_normal((9, 11))
+        projection = rng.standard_normal((11, 200))
+        row_map = rng.integers(9, size=57)
+        col_map = rng.integers(200, size=57)
+        gathered = score_block(q, projection)[row_map, col_map]
+        np.testing.assert_array_equal(
+            score_pairs(q, projection, row_map, col_map), gathered
+        )
+
+    def test_column_blocking_invariant_bitwise(self):
+        rng = np.random.default_rng(4)
+        q = rng.standard_normal((3, 8))
+        projection = rng.standard_normal((8, 100))
+        full = score_block(q, projection)
+        split = np.concatenate(
+            [score_block(q, projection[:, s]) for s in
+             (slice(0, 37), slice(37, 64), slice(64, 100))],
+            axis=1,
+        )
+        np.testing.assert_array_equal(full, split)
+
+
+class TestTopkScores:
+    @pytest.mark.parametrize("items_total", [1, 5, 100, 2048, 2049, 5000])
+    @pytest.mark.parametrize("k", [1, 3, 64])
+    def test_matches_canonical_full_scan(self, items_total, k):
+        rng = np.random.default_rng(items_total * 31 + k)
+        q = rng.standard_normal((4, 6))
+        projection = rng.standard_normal((6, items_total))
+        results = topk_scores(q, projection, k)
+        for row in range(4):
+            full = score_block(q[row : row + 1], projection)[0]
+            assert_same(results[row], canonical_topk(full, k))
+
+    def test_pruning_survives_adversarial_ties(self):
+        # Constant scores: every chunk maximum equals every score, so the
+        # pruning bound keeps all chunks and ties resolve canonically.
+        q = np.ones((2, 3))
+        projection = np.ones((3, 5000))
+        for k in (1, 10, 2048, 4999, 5000):
+            results = topk_scores(q, projection, k)
+            for result in results:
+                assert list(result.items) == list(range(min(k, 5000)))
+
+    def test_batched_equals_unbatched_bitwise(self):
+        rng = np.random.default_rng(9)
+        q = rng.standard_normal((50, 12))
+        projection = rng.standard_normal((12, 7001))
+        batch = topk_scores(q, projection, 9)
+        for row in range(50):
+            single = topk_scores(q[row : row + 1], projection, 9)[0]
+            assert_same(batch[row], single)
+
+    def test_row_and_col_block_geometry_does_not_change_results(self):
+        rng = np.random.default_rng(10)
+        q = rng.standard_normal((7, 5))
+        projection = rng.standard_normal((5, 3000))
+        reference = topk_scores(q, projection, 12)
+        for col_block, row_block in [(128, 2), (999, 3), (3000, 7), (4096, 1)]:
+            results = topk_scores(
+                q, projection, 12, col_block=col_block, row_block=row_block
+            )
+            for a, b in zip(results, reference):
+                assert_same(a, b)
+
+    def test_per_query_exclusion(self):
+        rng = np.random.default_rng(11)
+        q = rng.standard_normal((3, 4))
+        projection = rng.standard_normal((4, 600))
+        exclude = [np.array([0, 5, 599]), None, np.arange(300)]
+        results = topk_scores(q, projection, 8, exclude)
+        for row in range(3):
+            full = score_block(q[row : row + 1], projection)[0]
+            assert_same(results[row], canonical_topk(full, 8, exclude[row]))

@@ -290,3 +290,62 @@ class TestModelRoundtrip:
         for original, reloaded in zip(result.factors, loaded.factors):
             np.testing.assert_allclose(original, reloaded)
         assert loaded.algorithm == "P-Tucker"
+
+
+@pytest.fixture
+def model_file(tensor_file, tmp_path):
+    _, tensor = tensor_file
+    config = PTuckerConfig(ranks=(2, 2, 2), max_iterations=2, seed=0)
+    result = PTucker(config).fit(tensor)
+    prefix = str(tmp_path / "served")
+    save_model(result, prefix)
+    return prefix + ".npz", result
+
+
+class TestQueryCommand:
+    def test_point_query_matches_predict(self, model_file, capsys):
+        path, result = model_file
+        assert main(["query", path, "--index", "1", "2", "3"]) == 0
+        printed = float(capsys.readouterr().out.strip())
+        expected = float(result.predict(np.array([1, 2, 3]))[0])
+        assert printed == pytest.approx(expected, rel=1e-5)
+
+    def test_topk_prints_item_score_lines(self, model_file, capsys):
+        path, result = model_file
+        code = main(
+            ["query", path, "--topk", "4", "--mode", "1", "--context", "3", "5"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        scores = []
+        for line in lines:
+            item, score = line.split("\t")
+            assert 0 <= int(item) < 12
+            scores.append(float(score))
+        assert scores == sorted(scores, reverse=True)
+
+    def test_topk_without_mode_or_context_is_usage_error(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["query", path, "--topk", "4"]) == 2
+        assert "--mode and --context" in capsys.readouterr().err
+
+    def test_missing_model_file_is_exit_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.npz")
+        code = main(["query", missing, "--index", "1", "2", "3"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unreachable_server_is_exit_2(self, capsys):
+        code = main(
+            ["query", "http://127.0.0.1:9", "--index", "1", "2", "3"]
+        )
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_no_http_without_stdio_is_usage_error(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--no-http"]) == 2
+        assert "--stdio" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""Model archive round-trip, digest verification and checkpoint loading."""
+
+import numpy as np
+import pytest
+
+from repro.core import TuckerResult
+from repro.core.trace import ConvergenceTrace, IterationRecord
+from repro.exceptions import DataFormatError
+from repro.model_io import load_model, load_result, model_digest, save_model
+from repro.resilience import CheckpointManager
+
+
+def make_result(rng, shape=(5, 7, 4), ranks=(2, 3, 2), algorithm="ptucker"):
+    factors = [rng.standard_normal((dim, rank)) for dim, rank in zip(shape, ranks)]
+    core = rng.standard_normal(ranks)
+    return TuckerResult(core=core, factors=factors, algorithm=algorithm)
+
+
+def assert_bitwise_equal(loaded, reference):
+    assert loaded.core.tobytes() == reference.core.tobytes()
+    assert len(loaded.factors) == len(reference.factors)
+    for mine, theirs in zip(loaded.factors, reference.factors):
+        assert mine.tobytes() == theirs.tobytes()
+
+
+class TestRoundTrip:
+    def test_save_load_is_bitwise(self, tmp_path, rng):
+        reference = make_result(rng)
+        path = save_model(reference, str(tmp_path / "model"))
+        assert path.endswith(".npz")
+        loaded = load_model(path)
+        assert_bitwise_equal(loaded, reference)
+        assert loaded.algorithm == "ptucker"
+
+    def test_digest_is_content_addressed(self, rng):
+        result = make_result(rng)
+        same = model_digest(result.core, result.factors)
+        assert same == model_digest(result.core.copy(), [f.copy() for f in result.factors])
+        perturbed = result.core.copy()
+        perturbed.flat[0] += 1.0
+        assert same != model_digest(perturbed, result.factors)
+
+    def test_load_result_dispatches_to_npz(self, tmp_path, rng):
+        reference = make_result(rng)
+        path = save_model(reference, str(tmp_path / "model"))
+        assert_bitwise_equal(load_result(path), reference)
+
+
+class TestValidation:
+    def test_corrupt_digest_is_detected(self, tmp_path, rng):
+        result = make_result(rng)
+        path = save_model(result, str(tmp_path / "model"))
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["core"] = arrays["core"].copy()
+        arrays["core"].flat[0] += 1.0
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(DataFormatError, match="digest"):
+            load_model(path)
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "model.npz"
+        path.write_bytes(b"definitely not a zip file")
+        with pytest.raises(DataFormatError, match="cannot read"):
+            load_model(str(path))
+
+    def test_archive_without_core(self, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        np.savez_compressed(path, factor_0=rng.standard_normal((3, 2)))
+        with pytest.raises(DataFormatError, match="no 'core'"):
+            load_model(str(path))
+
+    def test_archive_without_factors(self, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        np.savez_compressed(path, core=rng.standard_normal((2, 2)))
+        with pytest.raises(DataFormatError, match="no factor"):
+            load_model(str(path))
+
+    def test_rank_mismatch_rejected_on_save(self, tmp_path, rng):
+        result = make_result(rng)
+        result.factors[1] = rng.standard_normal((7, 5))  # rank 5 != core's 3
+        with pytest.raises(DataFormatError):
+            save_model(result, str(tmp_path / "model"))
+
+    def test_mmap_rejected_for_npz(self, tmp_path, rng):
+        path = save_model(make_result(rng), str(tmp_path / "model"))
+        with pytest.raises(DataFormatError, match="checkpoint directory"):
+            load_result(path, mmap=True)
+
+
+def sample_trace():
+    trace = ConvergenceTrace()
+    trace.add(
+        IterationRecord(
+            iteration=1,
+            reconstruction_error=0.5,
+            loss=1.25,
+            seconds=0.01,
+            core_nnz=12,
+        )
+    )
+    return trace
+
+
+class TestCheckpointDirectories:
+    def write_checkpoint(self, tmp_path, rng):
+        reference = make_result(rng)
+        manager = CheckpointManager(str(tmp_path / "ckpt"))
+        manager.save(
+            3, reference.factors, reference.core, sample_trace(), "digest"
+        )
+        return str(tmp_path / "ckpt"), reference
+
+    def test_loads_latest_checkpoint(self, tmp_path, rng):
+        directory, reference = self.write_checkpoint(tmp_path, rng)
+        loaded = load_result(directory)
+        assert_bitwise_equal(loaded, reference)
+        assert loaded.algorithm == "ptucker"
+
+    def test_mmap_load_maps_factors_readonly(self, tmp_path, rng):
+        directory, reference = self.write_checkpoint(tmp_path, rng)
+        loaded = load_result(directory, mmap=True)
+        assert_bitwise_equal(loaded, reference)
+        assert isinstance(loaded.factors[0], np.memmap)
+        with pytest.raises((ValueError, OSError)):
+            loaded.factors[0][0, 0] = 99.0
+
+    def test_empty_directory_is_a_named_error(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        with pytest.raises(DataFormatError, match="no complete checkpoint"):
+            load_result(str(empty))
