@@ -11,6 +11,9 @@ Usage::
     python -m repro ingest ratings.tns --format rcoo --out ratings.rcoo
     python -m repro shards-migrate /data/shards-v1 --out /data/shards
     python -m repro shards-verify /data/shards
+    python -m repro update /data/shards new-entries.rcoo
+    python -m repro update /data/shards new-entries.rcoo --model model --output model
+    python -m repro compact /data/shards
     python -m repro predict model.npz --index 3 17 2 14
     python -m repro serve model.npz --port 8763
     python -m repro query model.npz --topk 10 --mode 1 --context 3 7
@@ -28,7 +31,15 @@ format v2 in bounded memory — see :mod:`repro.shards`.  ``shards-verify``
 checks an existing store's files against its manifest and exits 0/2.
 ``--checkpoint-dir`` writes crash-safe per-iteration checkpoints and
 ``--resume`` continues an interrupted fit bitwise-identically — see
-:mod:`repro.resilience`.)
+:mod:`repro.resilience`; ``--checkpoint-diff`` stores later checkpoints
+as low-rank row diffs against their predecessor, and ``--resume``
+reconstructs the chain bitwise-identically.  ``update`` appends an
+``.rcoo`` delta file to a store's pending delta log (atomically — a
+crash leaves the log unchanged) and, with ``--model``, re-solves only
+the factor rows the delta touches; ``compact`` folds pending deltas
+into the store, producing files identical to a fresh build of the
+union tensor — see :mod:`repro.updates`.  ``shards-verify`` also
+validates any pending deltas against their logged digests.)
 
 ``factorize`` reads a whitespace-separated ``i_1 ... i_N value`` file (the
 format of the paper's released datasets), runs the chosen algorithm, reports
@@ -179,6 +190,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "iteration is always checkpointed)",
     )
     factorize.add_argument(
+        "--checkpoint-diff",
+        action="store_true",
+        help="store each checkpoint after the first as a low-rank row diff "
+        "against its predecessor (only changed factor rows are written); "
+        "--resume reconstructs the chain bitwise-identically",
+    )
+    factorize.add_argument(
         "--resume",
         action="store_true",
         help="resume from the latest valid checkpoint in --checkpoint-dir "
@@ -272,6 +290,61 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="header/size checks only (O(files)); skip the full data-level "
         "validation that re-reads every shard",
+    )
+
+    update = subparsers.add_parser(
+        "update",
+        help="append an .rcoo delta file to a store's pending delta log "
+        "(optionally re-solving only the touched factor rows of a model)",
+    )
+    update.add_argument("store", help="path of the shard-store directory")
+    update.add_argument(
+        "delta",
+        help="new observed entries as an .rcoo container (same order and "
+        "within-bounds indices as the store)",
+    )
+    update.add_argument(
+        "--model",
+        default="",
+        metavar="PREFIX",
+        help="model .npz written by 'factorize': re-solve only the factor "
+        "rows the delta touches, over the union of old and new entries",
+    )
+    update.add_argument(
+        "--output",
+        default="",
+        metavar="PREFIX",
+        help="prefix for the updated model (.npz); defaults to --model "
+        "(updated in place)",
+    )
+    update.add_argument("--regularization", type=float, default=0.01)
+    update.add_argument(
+        "--backend",
+        choices=backend_names_for_cli(),
+        default="numpy",
+        help="kernel execution strategy for the targeted re-solves",
+    )
+    update.add_argument(
+        "--block-size",
+        type=int,
+        default=200_000,
+        help="entries per streamed block during the re-solves; matching "
+        "the fit's block size makes the touched rows bitwise-equal to a "
+        "full sweep's (default 200000)",
+    )
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="fold a store's pending deltas into its shards (files "
+        "identical to a fresh build of the union tensor)",
+    )
+    compact.add_argument("store", help="path of the shard-store directory")
+    compact.add_argument(
+        "--shard-nnz",
+        type=int,
+        default=None,
+        help="entries per shard of the compacted store (default: keep the "
+        "store's current setting)",
     )
 
     predict = subparsers.add_parser("predict", help="predict one cell of a stored model")
@@ -411,6 +484,13 @@ def _command_factorize(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.checkpoint_diff and not args.checkpoint_dir:
+        print(
+            "error: --checkpoint-diff needs --checkpoint-dir DIR to know "
+            "where the checkpoints live",
+            file=sys.stderr,
+        )
+        return 2
 
     config = PTuckerConfig(
         ranks=tuple(args.ranks),
@@ -425,6 +505,7 @@ def _command_factorize(args: argparse.Namespace) -> int:
         index_dtype=args.index_dtype,
         checkpoint_dir=args.checkpoint_dir or None,
         checkpoint_every=args.checkpoint_every,
+        checkpoint_diff=args.checkpoint_diff,
         resume=args.resume,
     )
     solver = ALGORITHMS[args.algorithm](config)
@@ -526,9 +607,15 @@ def _command_shards_migrate(args: argparse.Namespace) -> int:
 
 def _command_shards_verify(args: argparse.Namespace) -> int:
     from .shards import ShardStore
+    from .updates import DeltaLog
 
     store = ShardStore.open(args.store)
     store.verify_files()
+    log = DeltaLog.open(store.directory)
+    if len(log):
+        # Pending deltas are part of the store's logical content; a digest
+        # mismatch raises a DataFormatError naming the file (exit 2).
+        log.verify()
     if args.quick:
         print(f"shard store at {store.directory}: file headers OK")
     else:
@@ -538,6 +625,72 @@ def _command_shards_verify(args: argparse.Namespace) -> int:
     print(f"shape: {store.shape}")
     print(f"observed entries: {store.nnz}")
     print(f"shards: {n_shards} ({store.shard_nnz} entries per shard)")
+    if len(log):
+        print(
+            f"pending deltas: {len(log)} ({log.pending_nnz} entries, "
+            "digests OK)"
+        )
+    return 0
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    from .shards import ShardStore
+    from .updates import DeltaLog, apply_delta
+
+    store = ShardStore.open(args.store)
+    log = DeltaLog.open(store.directory)
+    # Load the model before touching the log: an unreadable model path
+    # must not leave the delta appended (a retry would append it twice).
+    result = load_result(args.model) if args.model else None
+    record = log.append(args.delta, store.shape)
+    print(f"appended {args.delta} to the delta log at {log.log_path()}")
+    print(f"delta entries: {record.nnz}")
+    print(f"pending deltas: {len(log)} ({log.pending_nnz} entries)")
+    if result is None:
+        return 0
+    output = args.output or args.model
+    if output.endswith(".npz"):
+        output = output[: -len(".npz")]
+    factors = [
+        np.ascontiguousarray(f, dtype=np.float64) for f in result.factors
+    ]
+    core = np.ascontiguousarray(result.core, dtype=np.float64)
+    updates = apply_delta(
+        store,
+        factors,
+        core,
+        regularization=args.regularization,
+        block_size=args.block_size,
+        backend=args.backend,
+        log=log,
+    )
+    for mode in range(store.order):
+        rows = updates[mode][0].shape[0] if mode in updates else 0
+        print(f"mode {mode}: {rows} factor rows re-solved")
+    result.factors = factors
+    result.core = core
+    path = save_model(result, output)
+    print(f"updated model written to {path}")
+    return 0
+
+
+def _command_compact(args: argparse.Namespace) -> int:
+    from .shards import ShardStore
+    from .updates import DeltaLog, compact
+
+    store = ShardStore.open(args.store)
+    log = DeltaLog.open(store.directory)
+    if not log.records:
+        print(f"shard store at {store.directory}: no pending deltas")
+        return 0
+    pending, pending_nnz = len(log), log.pending_nnz
+    before = store.nnz
+    store = compact(store, shard_nnz=args.shard_nnz)
+    print(
+        f"compacted {pending} pending deltas ({pending_nnz} entries) "
+        f"into {store.directory}"
+    )
+    print(f"observed entries: {before} -> {store.nnz}")
     return 0
 
 
@@ -667,8 +820,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     Data-format problems (a malformed input file, a retired v1 shard
     store under ``ingest`` or ``shards-migrate``, a store that fails
-    ``shards-verify``, a corrupt or mismatched checkpoint under
-    ``--resume``) surface as an error message plus exit code 2 instead
+    ``shards-verify``, a pending delta whose digest mismatches its log
+    record, a malformed or shape-mismatched delta under ``update``, a
+    corrupt or mismatched checkpoint under ``--resume``) surface as an
+    error message plus exit code 2 instead
     of a traceback — the v1 message includes the ``shards-migrate``
     recipe verbatim, and a corrupt-checkpoint message names the bad file
     and the last valid checkpoint to fall back to.  ``fit --shards``
@@ -688,6 +843,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_shards_migrate(args)
         if args.command == "shards-verify":
             return _command_shards_verify(args)
+        if args.command == "update":
+            return _command_update(args)
+        if args.command == "compact":
+            return _command_compact(args)
         if args.command == "predict":
             return _command_predict(args)
         if args.command == "info":

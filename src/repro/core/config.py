@@ -90,6 +90,11 @@ class PTuckerConfig:
         ``checkpoint_every``.
     checkpoint_every:
         Checkpoint cadence: save every N-th iteration (default 1).
+    checkpoint_diff:
+        Store checkpoints after the first of a run as low-rank R@C row
+        diffs against the previous save (see
+        :mod:`repro.updates.lowrank`); loading resolves the chain to
+        bitwise-equal full factors, so ``resume`` works unchanged.
     resume:
         Continue from the newest valid checkpoint in ``checkpoint_dir``
         instead of starting fresh.  The resumed trajectory is
@@ -120,6 +125,7 @@ class PTuckerConfig:
     index_dtype: str = "auto"
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 1
+    checkpoint_diff: bool = False
     resume: bool = False
 
     def __post_init__(self) -> None:
@@ -147,6 +153,8 @@ class PTuckerConfig:
             raise ShapeError("checkpoint_every must be at least 1")
         if self.resume and not self.checkpoint_dir:
             raise ShapeError("resume=True requires checkpoint_dir")
+        if self.checkpoint_diff and not self.checkpoint_dir:
+            raise ShapeError("checkpoint_diff=True requires checkpoint_dir")
         from ..columns import check_index_dtype_policy
 
         check_index_dtype_policy(self.index_dtype)

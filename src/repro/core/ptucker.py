@@ -199,7 +199,9 @@ class PTucker:
             from ..shards.store import _tensor_digest
 
             checkpoints = CheckpointManager(
-                config.checkpoint_dir, every=config.checkpoint_every
+                config.checkpoint_dir,
+                every=config.checkpoint_every,
+                diff=config.checkpoint_diff,
             )
             digest = fit_state_digest(
                 shape=tensor.shape,

@@ -181,11 +181,22 @@ def make_delta_contractor(
     result of every row independent of the block it arrived in (see
     :class:`_ContractionPlan`); the serving layer's rank-space queries use
     it, fits keep the default.
+
+    The returned closure exposes ``precontracted`` — the frozenset of
+    modes whose factor *contents* were baked into its tables at build
+    time.  A caller that mutates a factor in place must treat any closure
+    that precontracted that mode as stale; the serving hot-swap rebuilds
+    its contractors over a fresh factor snapshot for exactly this reason.
     """
     core_arr = np.asarray(core, dtype=np.float64)
     if core_arr.ndim == 1 and mode == 0:
         row = core_arr.reshape(1, -1)
-        return lambda indices_block: np.tile(row, (indices_block.shape[0], 1))
+
+        def contract_rank1(indices_block) -> np.ndarray:
+            return np.tile(row, (indices_block.shape[0], 1))
+
+        contract_rank1.precontracted = frozenset()
+        return contract_rank1
     plan = _ContractionPlan(
         factors, core_arr, mode, expected_entries, batch_invariant
     )
@@ -197,6 +208,7 @@ def make_delta_contractor(
             return np.zeros((0, rank), dtype=np.float64)
         return plan.apply(indices_block)
 
+    contract.precontracted = frozenset(plan.pre)
     return contract
 
 
@@ -223,6 +235,7 @@ def make_value_contractor(
             return np.zeros(0, dtype=np.float64)
         return plan.apply(indices_block).reshape(-1)
 
+    contract.precontracted = frozenset(plan.pre)
     return contract
 
 

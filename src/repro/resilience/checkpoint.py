@@ -32,6 +32,17 @@ continuing a different fit; stopping-only knobs (``max_iterations``,
 ``tolerance``, ``min_iterations``) are deliberately excluded so a resume
 may extend or shorten training.
 
+With ``diff=True`` the manager stores successive factor states as
+**low-rank R@C diffs** (:mod:`repro.updates.lowrank`): after one full
+base checkpoint, each save writes only the rows that changed since the
+previous save (``factorN.rows.npy`` + ``factorN.diff.npy``) plus the
+full core and trace, and records ``base_iteration`` in its manifest.
+Loading resolves the chain recursively — every link verified — and
+reconstructs factors **bitwise-equal** to what a full checkpoint would
+have held, so ``fit --resume`` works identically on chains.  ALS rewrites
+most rows every sweep, but targeted incremental updates touch a handful,
+which is where the inferred rank (and the saved bytes) collapse.
+
 Corruption is diagnosed, never silently repaired: loading a checkpoint
 whose file fails its checksum (bit flip) or size (truncation) raises
 :class:`~repro.exceptions.DataFormatError` naming the offending file
@@ -170,13 +181,20 @@ class CheckpointManager:
         Save every ``every``-th iteration (the fit loop also forces a
         save on its final iteration, so the last state is always
         recoverable regardless of the cadence).
+    diff:
+        Store factor states as low-rank row diffs against the previous
+        save of this manager instance.  The first save of a run (and the
+        first after a resume) is always a full checkpoint, so every chain
+        is anchored within the process that wrote it.
     """
 
-    def __init__(self, directory: str, every: int = 1) -> None:
+    def __init__(self, directory: str, every: int = 1, diff: bool = False) -> None:
         if every < 1:
             raise ValueError("checkpoint_every must be at least 1")
         self.directory = os.fspath(directory)
         self.every = int(every)
+        self.diff = bool(diff)
+        self._diff_base: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def due(self, iteration: int, final: bool = False) -> bool:
@@ -226,6 +244,10 @@ class CheckpointManager:
         Data files first (each atomically renamed into place and
         checksummed), the manifest last — the commit point.  A leftover
         directory from a crashed save of the same iteration is replaced.
+
+        In diff mode, a save with a previous save to anchor to writes
+        per-factor changed-row diffs instead of full factor files and
+        records the anchor as ``base_iteration``.
         """
         iter_dir = self.iter_dir(iteration)
         if os.path.isdir(iter_dir):
@@ -242,8 +264,18 @@ class CheckpointManager:
                 "bytes": os.path.getsize(path),
             }
 
-        for mode, factor in enumerate(factors):
-            _put_array(f"factor{mode}.npy", factor)
+        base_iteration: Optional[int] = None
+        if self.diff and self._diff_base is not None:
+            from ..updates.lowrank import factor_diff
+
+            base_iteration, base_factors = self._diff_base
+            for mode, factor in enumerate(factors):
+                diff = factor_diff(base_factors[mode], factor)
+                _put_array(f"factor{mode}.rows.npy", diff.rows)
+                _put_array(f"factor{mode}.diff.npy", diff.values)
+        else:
+            for mode, factor in enumerate(factors):
+                _put_array(f"factor{mode}.npy", factor)
         _put_array("core.npy", core)
 
         trace_path = os.path.join(iter_dir, "trace.json")
@@ -253,17 +285,22 @@ class CheckpointManager:
             "bytes": os.path.getsize(trace_path),
         }
 
-        atomic_write_json(
-            os.path.join(iter_dir, MANIFEST_NAME),
-            {
-                "format": CHECKPOINT_FORMAT,
-                "version": CHECKPOINT_VERSION,
-                "iteration": int(iteration),
-                "order": len(factors),
-                "config_digest": config_digest,
-                "files": files,
-            },
-        )
+        manifest: Dict[str, object] = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "iteration": int(iteration),
+            "order": len(factors),
+            "config_digest": config_digest,
+            "files": files,
+        }
+        if base_iteration is not None:
+            manifest["base_iteration"] = int(base_iteration)
+        atomic_write_json(os.path.join(iter_dir, MANIFEST_NAME), manifest)
+        if self.diff:
+            self._diff_base = (
+                int(iteration),
+                [np.array(f, dtype=np.float64, copy=True) for f in factors],
+            )
         return iter_dir
 
     # ------------------------------------------------------------------
@@ -316,9 +353,34 @@ class CheckpointManager:
                     iteration,
                 )
 
+    def _base_iteration(
+        self, iteration: int, manifest: Dict[str, object]
+    ) -> Optional[int]:
+        """The diff chain's anchor for this checkpoint (None when full)."""
+        if "base_iteration" not in manifest:
+            return None
+        base = int(manifest["base_iteration"])
+        if base >= int(iteration):
+            self._raise_corrupt(
+                os.path.join(self.iter_dir(iteration), MANIFEST_NAME),
+                f"diff checkpoint claims base iteration {base} >= its own "
+                f"iteration {iteration} — the chain cannot resolve",
+                iteration,
+            )
+        return base
+
     def validate(self, iteration: int) -> None:
-        """Fully verify one checkpoint (manifest, sizes, checksums)."""
-        self._check_files(iteration, self._read_manifest(iteration))
+        """Fully verify one checkpoint (manifest, sizes, checksums).
+
+        A diff checkpoint is only as good as its chain: validation
+        follows ``base_iteration`` links all the way to the anchoring
+        full checkpoint.
+        """
+        manifest = self._read_manifest(iteration)
+        self._check_files(iteration, manifest)
+        base = self._base_iteration(iteration, manifest)
+        if base is not None:
+            self.validate(base)
 
     def _raise_corrupt(self, path: str, reason: str, iteration: int) -> None:
         """Raise a :class:`DataFormatError` naming the file and the fall-back."""
@@ -359,10 +421,38 @@ class CheckpointManager:
         self._check_files(iteration, manifest)
         iter_dir = self.iter_dir(iteration)
         order = int(manifest["order"])
-        factors = [
-            np.load(os.path.join(iter_dir, f"factor{mode}.npy"), allow_pickle=False)
-            for mode in range(order)
-        ]
+        base = self._base_iteration(iteration, manifest)
+        if base is None:
+            factors = [
+                np.load(
+                    os.path.join(iter_dir, f"factor{mode}.npy"),
+                    allow_pickle=False,
+                )
+                for mode in range(order)
+            ]
+        else:
+            from ..updates.lowrank import LowRankDiff, apply_factor_diff
+
+            base_state = self.load(base)
+            factors = []
+            for mode in range(order):
+                rows = np.load(
+                    os.path.join(iter_dir, f"factor{mode}.rows.npy"),
+                    allow_pickle=False,
+                )
+                values = np.load(
+                    os.path.join(iter_dir, f"factor{mode}.diff.npy"),
+                    allow_pickle=False,
+                )
+                old = base_state.factors[mode]
+                factors.append(
+                    apply_factor_diff(
+                        old,
+                        LowRankDiff(
+                            rows=rows, values=values, n_rows=int(old.shape[0])
+                        ),
+                    )
+                )
         core = np.load(os.path.join(iter_dir, "core.npy"), allow_pickle=False)
         with open(
             os.path.join(iter_dir, "trace.json"), "r", encoding="utf-8"

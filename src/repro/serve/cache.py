@@ -86,6 +86,27 @@ class LRUCache:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
 
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry if cached; counted under ``<name>.invalidation``."""
+        if key in self._entries:
+            del self._entries[key]
+            self._count("invalidation")
+            return True
+        return False
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        This is the surgical half of a hot-swap: only the keys an update
+        actually staled are evicted (each counted as an invalidation);
+        everything else stays warm.  Returns the number dropped.
+        """
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+            self._count("invalidation")
+        return len(stale)
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready stats: size, capacity, counters and hit rate."""
         hits = self.counters.get(f"{self.name}.hit")
@@ -97,5 +118,6 @@ class LRUCache:
             "hits": hits,
             "misses": misses,
             "evictions": self.counters.get(f"{self.name}.eviction"),
+            "invalidations": self.counters.get(f"{self.name}.invalidation"),
             "hit_rate": (hits / total) if total else 0.0,
         }

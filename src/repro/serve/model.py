@@ -39,7 +39,7 @@ from ..kernels.contraction import make_delta_contractor, make_value_contractor
 from ..metrics import Counters
 from ..model_io import load_result, validate_model
 from .cache import LRUCache
-from .topk import TopKResult, projection_margin, topk_scores
+from .topk import TopKResult, topk_scores
 
 #: Contraction plans are built for this many entries regardless of actual
 #: batch sizes — plan geometry must not vary with batching, or batched
@@ -90,8 +90,13 @@ class ServingModel:
         )
         self._store = None
         self.mmap_backed = any(isinstance(f, np.memmap) for f in factors)
-        self._projections: Dict[int, np.ndarray] = {}
-        self._margins: Dict[int, float] = {}
+        # Per-mode (projection, per-item abs-sums, margin) triples kept as
+        # ONE tuple per mode: a top-K reader grabs the whole triple in a
+        # single dict read, so a concurrent hot-swap can never pair a new
+        # projection with a stale margin (which could mis-prune).
+        self._projection_state: Dict[
+            int, Tuple[np.ndarray, np.ndarray, float]
+        ] = {}
         self._delta: Dict[int, object] = {}
         self._value = make_value_contractor(
             self.factors, self.core, PLAN_ENTRIES, batch_invariant=True
@@ -142,14 +147,35 @@ class ServingModel:
         memory-mapped factors, so scoring never faults pages through a
         strided map).
         """
+        return self._projection_entry(mode)[0]
+
+    def _projection_entry(
+        self, mode: int
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """``(projection, per-item abs-sums, margin)`` of an item mode.
+
+        The abs-sum vector is retained so :meth:`apply_update` can patch
+        the margin surgically (recompute only the swapped columns' sums
+        and re-take the max) instead of rebuilding the projection — the
+        ``model.projection_builds`` counter proves a swap never triggers
+        a rebuild.
+        """
         self._check_mode(mode)
-        if mode not in self._projections:
+        state = self._projection_state.get(mode)
+        if state is None:
             projection = np.ascontiguousarray(
                 np.asarray(self.factors[mode]).T, dtype=np.float64
             )
-            self._projections[mode] = projection
-            self._margins[mode] = projection_margin(projection)
-        return self._projections[mode]
+            if projection.size == 0:
+                sums = np.zeros(projection.shape[1], dtype=np.float64)
+                margin = 0.0
+            else:
+                sums = np.abs(projection).sum(axis=0)
+                margin = float(sums.max()) if sums.size else 0.0
+            state = (projection, sums, margin)
+            self._projection_state[mode] = state
+            self.counters.add("model.projection_builds")
+        return state
 
     def _delta_contractor(self, mode: int):
         """The batch-invariant rank-space kernel for item mode ``m``."""
@@ -329,10 +355,8 @@ class ServingModel:
         if exclude_observed:
             block = self._context_block(contexts, mode)
             exclude = [self._observed_items(row, mode) for row in block]
-        projection = self.item_projection(mode)
-        results = topk_scores(
-            q_block, projection, k, exclude, margin=self._margins[mode]
-        )
+        projection, _, margin = self._projection_entry(mode)
+        results = topk_scores(q_block, projection, k, exclude, margin=margin)
         self.counters.add("model.topk_queries", len(results))
         return results
 
@@ -356,6 +380,100 @@ class ServingModel:
         for k in other[1:]:
             keep &= np.asarray(indices[:, k], dtype=np.int64) == context_row[k]
         return np.asarray(indices[:, mode], dtype=np.int64)[keep]
+
+    # ------------------------------------------------------------------
+    # Hot-swap updates
+    # ------------------------------------------------------------------
+    def apply_update(
+        self, mode: int, rows: np.ndarray, new_rows: np.ndarray
+    ) -> int:
+        """Atomically swap factor rows of ``mode`` into the live model.
+
+        ``rows`` are factor row indices and ``new_rows`` their
+        replacement values, typically straight from a targeted re-solve
+        (:func:`repro.updates.resolve.solve_touched_rows`).  The swap is
+        built on the side and published by plain attribute rebinding, so
+        a concurrent query observes either the fully-old or the fully-new
+        model, never a blend:
+
+        * a fresh factor list and fresh value/δ contractors are
+          constructed over it — a contraction plan precontracts factor
+          *contents* into its tables at build time, so rebuilding over
+          the snapshot is what keeps every closure self-consistent;
+        * the item projection of ``mode`` is patched **surgically** —
+          swapped columns assigned, their abs-sums recomputed, the margin
+          re-maxed — never rebuilt (see ``model.projection_builds``);
+        * only the cache entries the swap staled are invalidated: ``q``
+          vectors whose context touches a swapped row of ``mode`` and
+          staged copies of the swapped rows.  Everything else stays warm,
+          and the cache's ``invalidations`` counter reconciles with the
+          evicted keys.
+
+        Returns the number of rows swapped.
+        """
+        self._check_mode(mode)
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        new_rows = np.asarray(new_rows, dtype=np.float64)
+        if new_rows.ndim == 1:
+            new_rows = new_rows.reshape(1, -1)
+        if new_rows.shape != (rows.shape[0], self.ranks[mode]):
+            raise ShapeError(
+                f"apply_update needs ({rows.shape[0]}, {self.ranks[mode]}) "
+                f"replacement rows for mode {mode}, got {new_rows.shape}"
+            )
+        if rows.size and (
+            rows.min() < 0 or rows.max() >= self.shape[mode]
+        ):
+            raise ShapeError(
+                f"mode-{mode} row index out of range "
+                f"[0, {self.shape[mode]}) in apply_update"
+            )
+        if rows.size == 0:
+            return 0
+        if np.unique(rows).shape[0] != rows.shape[0]:
+            raise ShapeError("apply_update rows must be unique")
+        factor = np.array(
+            np.asarray(self.factors[mode]), dtype=np.float64, copy=True
+        )
+        factor[rows] = new_rows
+        new_factors = list(self.factors)
+        new_factors[mode] = factor
+        new_value = make_value_contractor(
+            new_factors, self.core, PLAN_ENTRIES, batch_invariant=True
+        )
+        new_delta = {
+            m: make_delta_contractor(
+                new_factors, self.core, m, PLAN_ENTRIES, batch_invariant=True
+            )
+            for m in self._delta
+        }
+        new_states = dict(self._projection_state)
+        if mode in new_states:
+            projection, sums, _ = new_states[mode]
+            projection = np.array(projection, copy=True)
+            projection[:, rows] = new_rows.T
+            sums = np.array(sums, copy=True)
+            sums[rows] = np.abs(new_rows).sum(axis=1)
+            margin = float(sums.max()) if sums.size else 0.0
+            new_states[mode] = (projection, sums, margin)
+            self.counters.add("model.projection_row_updates", rows.shape[0])
+        # Publish: each assignment swaps a whole self-consistent object,
+        # so any reader sees a coherent snapshot.
+        self.factors = new_factors
+        self.mmap_backed = any(isinstance(f, np.memmap) for f in new_factors)
+        self._value = new_value
+        self._delta = new_delta
+        self._projection_state = new_states
+        swapped = {int(r) for r in rows}
+        self.query_cache.invalidate_where(
+            lambda key: key[0] != mode and int(key[1 + mode]) in swapped
+        )
+        self.row_cache.invalidate_where(
+            lambda key: key[1] == mode and int(key[2]) in swapped
+        )
+        self.counters.add("model.updates")
+        self.counters.add("model.rows_swapped", rows.shape[0])
+        return int(rows.shape[0])
 
     # ------------------------------------------------------------------
     # Stats

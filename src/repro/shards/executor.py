@@ -192,7 +192,9 @@ class ShardedSweepExecutor:
             )
 
             checkpoints = CheckpointManager(
-                config.checkpoint_dir, every=config.checkpoint_every
+                config.checkpoint_dir,
+                every=config.checkpoint_every,
+                diff=config.checkpoint_diff,
             )
             digest = fit_state_digest(
                 shape=store.shape,

@@ -85,6 +85,11 @@ from ..tensor.coo import SparseTensor
 #: Manifest file name inside a shard directory.
 MANIFEST_NAME = "manifest.json"
 
+#: Compaction commit marker (written by ``repro.updates.compact``); its
+#: name lives here so ``open`` can check for it without importing the
+#: updates package on every open.
+COMPACT_MARKER_NAME = "compact.commit.json"
+
 #: ``format`` field value identifying a shard-store manifest.
 FORMAT_NAME = "repro-shard-store"
 
@@ -603,8 +608,18 @@ class ShardStore:
         A version-1 directory raises a :class:`DataFormatError` whose
         message names both versions and the one-line re-shard recipe
         (``shards-migrate`` / ``ingest ... --out``).
+
+        A directory carrying a committed-but-unfinished compaction marker
+        (``compact.commit.json`` — see :mod:`repro.updates.compact`) is
+        rolled forward first, so a crash mid-compaction is invisible to
+        every reader: the marker's presence *is* the commit, and opening
+        finishes the file moves idempotently.
         """
         directory = os.fspath(directory)
+        if os.path.exists(os.path.join(directory, COMPACT_MARKER_NAME)):
+            from ..updates.compact import complete_compaction
+
+            complete_compaction(directory)
         path = os.path.join(directory, MANIFEST_NAME)
         try:
             with open(path, "r", encoding="utf-8") as fh:

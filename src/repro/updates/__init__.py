@@ -1,0 +1,56 @@
+"""Online incremental updates: new observations without a refit.
+
+The paper's row independence means a new entry perturbs only the factor
+rows it indexes.  This package turns that into a serving-friendly update
+path over a fitted shard store:
+
+* :class:`DeltaLog` (:mod:`~repro.updates.deltalog`) — crash-safe append
+  of small ``.rcoo`` deltas beside the store, log commit as the atomic
+  visibility point;
+* :class:`UnionEntrySource` (:mod:`~repro.updates.union`) — the store
+  plus its pending deltas presented lazily through both streaming
+  protocols, with a per-mode ordering contract that keeps everything
+  downstream bitwise-reproducible;
+* **targeted** re-solves (:mod:`~repro.updates.resolve`) — only the
+  touched rows' normal equations are re-run over the union, through the
+  registered kernel backends, bitwise-equal to the same rows of a full
+  sweep;
+* **compaction** (:mod:`~repro.updates.compact`) — deltas fold into the
+  shard files through the k-way merge, byte-identical to a fresh build
+  of the union tensor, behind an idempotent crash-safe commit marker;
+* low-rank checkpoint diffs (:mod:`~repro.updates.lowrank`) — versioned
+  factor states stored as R@C row updates with rank inference,
+  reconstructed bitwise by ``repro.resilience.checkpoint`` diff chains.
+
+The verification harness for all of it lives in ``tests/updates/``:
+a differential suite (targeted vs from-scratch, all orders/backends),
+a chaos suite (SIGKILL mid-append and mid-compaction), and property
+tests for diff round-trips.
+"""
+
+from .deltalog import DeltaLog, DeltaRecord
+from .union import UnionEntrySource
+from .resolve import apply_delta, solve_touched_rows
+from .compact import COMPACT_MARKER, compact, complete_compaction
+from .lowrank import LowRankDiff, apply_factor_diff, factor_diff
+
+__all__ = [
+    "COMPACT_MARKER",
+    "DeltaLog",
+    "DeltaRecord",
+    "LowRankDiff",
+    "UnionEntrySource",
+    "append_delta",
+    "apply_delta",
+    "apply_factor_diff",
+    "compact",
+    "complete_compaction",
+    "factor_diff",
+    "solve_touched_rows",
+]
+
+
+def append_delta(store, delta_path: str) -> DeltaRecord:
+    """Append one ``.rcoo`` delta to ``store``'s log (convenience wrapper)."""
+    log = DeltaLog.open(store.directory)
+    return log.append(delta_path, store.shape)

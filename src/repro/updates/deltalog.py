@@ -1,0 +1,269 @@
+"""The delta log: crash-safe append of ``.rcoo`` deltas beside a shard store.
+
+New observations arrive long after a store was built and fitted; folding
+them into the shard files immediately would rewrite gigabytes for a
+handful of entries.  Instead they accumulate as small ``.rcoo`` containers
+under ``<store>/deltas/`` and are recorded in ``deltas/deltalog.json`` —
+the log is the **commit point**:
+
+1. the delta's bytes are copied to ``deltas/delta<seq>.rcoo`` through the
+   atomic write-tmp/fsync/rename discipline of
+   :mod:`repro.resilience.atomic`;
+2. the log is atomically rewritten with the new record, including the
+   delta file's byte size and **sha256** digest.
+
+A crash between the two steps leaves an orphan delta file that no log
+names — invisible to every reader and harmlessly overwritten by the next
+append — so a delta is either fully visible (in the log, digest pinned)
+or not there at all; there is no torn state.  ``deltalog.json`` itself is
+replaced atomically, so the log always parses.
+
+Readers (:class:`~repro.updates.union.UnionEntrySource`, ``shards-verify``)
+see the pending deltas in log-append order; :func:`DeltaLog.verify`
+re-digests every pending file against its recorded sha256 and raises a
+:class:`~repro.exceptions.DataFormatError` naming the damaged file on a
+mismatch.  Compaction (:mod:`repro.updates.compact`) folds the pending
+entries into the store and removes the log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataFormatError, ShapeError
+from ..resilience.atomic import atomic_open, atomic_write_json, sha256_file
+from ..tensor.io import RcooEntryReader
+
+#: Subdirectory of the store holding pending delta containers and the log.
+DELTA_DIR = "deltas"
+
+#: The log file — the commit point of every append.
+LOG_NAME = "deltalog.json"
+
+#: ``format`` field value identifying a delta log.
+LOG_FORMAT = "repro-delta-log"
+
+#: Current log schema version.
+LOG_VERSION = 1
+
+#: Test hook: when set, :meth:`DeltaLog.append` SIGKILLs its own process
+#: after the delta file lands but *before* the log commit — the chaos
+#: suite uses it to pin the crash to the exact window the commit-point
+#: design must make invisible.
+KILL_AFTER_COPY_ENV = "REPRO_INJECT_DELTA_KILL"
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One committed delta: its file (store-relative), size, and digest."""
+
+    file: str
+    nnz: int
+    bytes: int
+    sha256: str
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.file,
+            "nnz": self.nnz,
+            "bytes": self.bytes,
+            "sha256": self.sha256,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DeltaRecord":
+        try:
+            return cls(
+                file=str(payload["file"]),
+                nnz=int(payload["nnz"]),
+                bytes=int(payload["bytes"]),
+                sha256=str(payload["sha256"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataFormatError(
+                f"malformed delta record in {LOG_NAME}: {exc}"
+            ) from exc
+
+
+class DeltaLog:
+    """The ordered list of pending deltas of one shard store."""
+
+    def __init__(self, directory: str, records: List[DeltaRecord]) -> None:
+        self.directory = os.fspath(directory)
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def pending_nnz(self) -> int:
+        """Total entries across all pending deltas."""
+        return sum(record.nnz for record in self.records)
+
+    def delta_dir(self) -> str:
+        """Absolute path of the delta subdirectory."""
+        return os.path.join(self.directory, DELTA_DIR)
+
+    def log_path(self) -> str:
+        """Absolute path of the commit-point log file."""
+        return os.path.join(self.delta_dir(), LOG_NAME)
+
+    def relative_paths(self) -> List[str]:
+        """Store-relative paths of every pending delta plus the log itself."""
+        paths = [record.file for record in self.records]
+        paths.append(os.path.join(DELTA_DIR, LOG_NAME))
+        return paths
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str) -> "DeltaLog":
+        """Read the delta log of a store directory (empty when none exists).
+
+        Orphan delta files left behind by a crashed append are ignored —
+        only the log defines what is pending.  A log that exists but does
+        not parse raises :class:`DataFormatError`.
+        """
+        directory = os.fspath(directory)
+        path = os.path.join(directory, DELTA_DIR, LOG_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return cls(directory, [])
+        except ValueError as exc:
+            raise DataFormatError(f"{path}: invalid JSON: {exc}") from exc
+        if payload.get("format") != LOG_FORMAT:
+            raise DataFormatError(
+                f"{path}: not a delta log (format={payload.get('format')!r})"
+            )
+        if int(payload.get("version", -1)) != LOG_VERSION:
+            raise DataFormatError(
+                f"{path}: unsupported delta-log version "
+                f"{payload.get('version')} (this build reads {LOG_VERSION})"
+            )
+        records = [DeltaRecord.from_json(r) for r in payload.get("deltas", [])]
+        return cls(directory, records)
+
+    def _write(self) -> None:
+        atomic_write_json(
+            self.log_path(),
+            {
+                "format": LOG_FORMAT,
+                "version": LOG_VERSION,
+                "deltas": [record.to_json() for record in self.records],
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def append(
+        self, delta_path: str, shape: Sequence[int]
+    ) -> DeltaRecord:
+        """Commit one ``.rcoo`` delta into the log.
+
+        The container is validated (magic, version, shape against
+        ``shape``) before any byte is copied; a format problem raises
+        :class:`DataFormatError` / :class:`ShapeError` and changes
+        nothing.  The copy is atomic and the log rewrite is the commit —
+        a crash at any instant leaves either the previous log (the delta
+        invisible) or the new one (the delta fully visible).
+        """
+        try:
+            reader = RcooEntryReader(delta_path)
+        except FileNotFoundError:
+            raise DataFormatError(
+                f"{delta_path}: delta file does not exist"
+            ) from None
+        if tuple(reader.shape) != tuple(int(s) for s in shape):
+            raise ShapeError(
+                f"{delta_path}: delta shape {tuple(reader.shape)} does not "
+                f"match the store shape {tuple(int(s) for s in shape)}"
+            )
+        os.makedirs(self.delta_dir(), exist_ok=True)
+        sequence = len(self.records)
+        relative = os.path.join(DELTA_DIR, f"delta{sequence:07d}.rcoo")
+        destination = os.path.join(self.directory, relative)
+        with atomic_open(destination) as handle:
+            with open(delta_path, "rb") as source:
+                shutil.copyfileobj(source, handle)
+        if os.environ.get(KILL_AFTER_COPY_ENV):
+            # Chaos hook: die in the window between the file landing and
+            # the log commit — the append must be invisible afterwards.
+            os.kill(os.getpid(), signal.SIGKILL)
+        record = DeltaRecord(
+            file=relative,
+            nnz=int(reader.nnz),
+            bytes=os.path.getsize(destination),
+            sha256=sha256_file(destination),
+        )
+        self.records.append(record)
+        self._write()
+        return record
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Check every pending delta against its logged size and sha256.
+
+        Raises :class:`DataFormatError` naming the damaged file on the
+        first missing, truncated, padded, or digest-mismatched delta —
+        the ``shards-verify`` CLI surfaces this as exit code 2.
+        """
+        for record in self.records:
+            path = os.path.join(self.directory, record.file)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                raise DataFormatError(
+                    f"{path}: pending delta named by {LOG_NAME} is missing"
+                ) from None
+            if size != record.bytes:
+                raise DataFormatError(
+                    f"{path}: pending delta is {size} bytes, {LOG_NAME} "
+                    f"says {record.bytes} — truncated or padded"
+                )
+            if sha256_file(path) != record.sha256:
+                raise DataFormatError(
+                    f"{path}: pending delta is corrupt "
+                    f"(sha256 mismatch against its {LOG_NAME} record)"
+                )
+
+    def readers(self) -> List[RcooEntryReader]:
+        """One :class:`RcooEntryReader` per pending delta, in log order."""
+        return [
+            RcooEntryReader(os.path.join(self.directory, record.file))
+            for record in self.records
+        ]
+
+    def load_entries(self, order: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All pending entries concatenated in log-append order.
+
+        Returns ``(indices, values)`` with int64 indices of shape
+        ``(pending_nnz, order)``.  Deltas are small by design (that is why
+        they are deltas), so loading them into RAM is the intended access
+        pattern; the base store stays on disk.
+        """
+        if not self.records:
+            return (
+                np.empty((0, order), dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        index_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        for reader in self.readers():
+            for indices, values in reader.iter_entry_chunks():
+                index_parts.append(np.ascontiguousarray(indices, dtype=np.int64))
+                value_parts.append(
+                    np.ascontiguousarray(values, dtype=np.float64)
+                )
+        if not index_parts:
+            return (
+                np.empty((0, order), dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        return np.concatenate(index_parts), np.concatenate(value_parts)

@@ -10,6 +10,41 @@ from repro.data import generate_movielens_like, planted_tucker_tensor, random_sp
 from repro.tensor import SparseTensor
 
 
+def assert_bitwise_equal(a, b, context: str = "") -> None:
+    """Assert two arrays are byte-for-byte identical, with diagnostics.
+
+    ``np.array_equal`` treats ``-0.0 == 0.0`` and fails on NaN; this
+    helper compares dtype, shape and raw bytes, and on mismatch reports
+    the first differing element (by unravelled index) alongside both
+    values — far more actionable than a bare boolean assert.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    prefix = f"{context}: " if context else ""
+    assert a.dtype == b.dtype, f"{prefix}dtype {a.dtype} != {b.dtype}"
+    assert a.shape == b.shape, f"{prefix}shape {a.shape} != {b.shape}"
+    a_c = np.ascontiguousarray(a)
+    b_c = np.ascontiguousarray(b)
+    if a_c.tobytes() == b_c.tobytes():
+        return
+    # Locate the first differing element for the failure message.
+    a_bytes = a_c.view(np.uint8).reshape(-1)
+    b_bytes = b_c.view(np.uint8).reshape(-1)
+    first_byte = int(np.nonzero(a_bytes != b_bytes)[0][0])
+    flat_index = first_byte // max(a.dtype.itemsize, 1)
+    position = np.unravel_index(flat_index, a.shape) if a.shape else ()
+    raise AssertionError(
+        f"{prefix}arrays differ; first difference at index {position}: "
+        f"{a_c.reshape(-1)[flat_index]!r} != {b_c.reshape(-1)[flat_index]!r}"
+    )
+
+
+@pytest.fixture
+def bitwise():
+    """The :func:`assert_bitwise_equal` helper as a fixture."""
+    return assert_bitwise_equal
+
+
 @pytest.fixture
 def rng():
     """A seeded random generator for test-local randomness."""

@@ -59,6 +59,7 @@ def test_readme_documents_the_cli_flags():
         "--out",
         "--checkpoint-dir",
         "--checkpoint-every",
+        "--checkpoint-diff",
         "--resume",
         "--topk",
         "--mode",
@@ -72,7 +73,15 @@ def test_readme_documents_the_cli_flags():
         "--mmap",
     ):
         assert flag in text, f"README CLI table is missing {flag}"
-    for command in ("ingest", "shards-migrate", "shards-verify", "serve", "query"):
+    for command in (
+        "ingest",
+        "shards-migrate",
+        "shards-verify",
+        "update",
+        "compact",
+        "serve",
+        "query",
+    ):
         assert command in text, f"README CLI table is missing {command}"
     assert "rcoo" in text, "README does not mention the rcoo container"
 
@@ -93,6 +102,14 @@ def test_readme_documents_the_cli_flags():
         ("repro.resilience", ("atomic_open", "CheckpointManager", "bitwise")),
         ("repro.resilience.atomic", ("fsync", "rename", "crash")),
         ("repro.resilience.checkpoint", ("manifest", "bitwise", "resume")),
+        ("repro.updates", ("DeltaLog", "targeted", "compaction")),
+        ("repro.updates.deltalog", ("deltalog.json", "commit", "sha256")),
+        ("repro.updates.union", ("read_mode_block", "bitwise", "log-append")),
+        ("repro.updates.resolve", ("touched", "bitwise", "solve")),
+        # ``compact`` the function shadows the submodule for pydoc; the
+        # needles target the function's own docstring.
+        ("repro.updates.compact", ("byte-identical", "union", "pending")),
+        ("repro.updates.lowrank", ("R@C", "rank", "bitwise")),
         ("repro.kernels.backends.degrade", ("numpy", "RuntimeWarning")),
         ("repro.parallel.executor", ("WorkerFailureError", "re-dispatch")),
         ("repro.serve", ("ServingModel", "rank space", "micro-batch")),

@@ -64,7 +64,7 @@ class TestTopkAgainstDenseReconstruction:
 
 
 class TestBatchInvariance:
-    def test_batched_unbatched_single_identical_bitwise(self):
+    def test_batched_unbatched_single_identical_bitwise(self, bitwise):
         model, _, _ = make_model((20, 3000, 9), (3, 5, 2), seed=2)
         rng = np.random.default_rng(3)
         contexts = [
@@ -74,20 +74,20 @@ class TestBatchInvariance:
         # Fresh model: no cache interaction between the two paths.
         model2, _, _ = make_model((20, 3000, 9), (3, 5, 2), seed=2)
         singles = [model2.topk(c, 1, 7) for c in contexts]
-        for b, s in zip(batch, singles):
-            np.testing.assert_array_equal(b.items, s.items)
-            np.testing.assert_array_equal(b.scores, s.scores)
+        for n, (b, s) in enumerate(zip(batch, singles)):
+            bitwise(b.items, s.items, f"items for context {contexts[n]}")
+            bitwise(b.scores, s.scores, f"scores for context {contexts[n]}")
 
-    def test_cache_hits_do_not_change_answers(self):
+    def test_cache_hits_do_not_change_answers(self, bitwise):
         model, _, _ = make_model((10, 500, 4), (2, 3, 2), seed=4)
         context = (7, 0, 2)
         first = model.topk(context, 1, 5)
         again = model.topk(context, 1, 5)  # q comes from the cache now
-        np.testing.assert_array_equal(first.items, again.items)
-        np.testing.assert_array_equal(first.scores, again.scores)
+        bitwise(first.items, again.items, "cached items")
+        bitwise(first.scores, again.scores, "cached scores")
         assert model.counters.get("query_cache.hit") >= 1
 
-    def test_predict_batch_invariant_bitwise(self):
+    def test_predict_batch_invariant_bitwise(self, bitwise):
         model, _, _ = make_model((15, 80, 7), (3, 4, 2), seed=6)
         rng = np.random.default_rng(7)
         block = np.column_stack(
@@ -95,7 +95,7 @@ class TestBatchInvariance:
         )
         batched = model.predict(block)
         singles = np.array([model.predict(row)[0] for row in block])
-        np.testing.assert_array_equal(batched, singles)
+        bitwise(batched, singles, "batched vs per-row predictions")
 
 
 class TestEdgeCases:
@@ -118,12 +118,12 @@ class TestEdgeCases:
         # Ties broken canonically: ascending item order.
         np.testing.assert_array_equal(result.items, np.arange(9))
 
-    def test_short_context_form(self):
+    def test_short_context_form(self, bitwise):
         model, factors, core = make_model((6, 9, 5), (2, 2, 2), seed=10)
         full = model.topk((4, 0, 3), 1, 4)
         short = model.topk((4, 3), 1, 4)  # item-mode position omitted
-        np.testing.assert_array_equal(full.items, short.items)
-        np.testing.assert_array_equal(full.scores, short.scores)
+        bitwise(full.items, short.items, "short-context items")
+        bitwise(full.scores, short.scores, "short-context scores")
 
     def test_bad_context_raises_shape_error(self):
         model, _, _ = make_model((6, 9, 5), (2, 2, 2), seed=11)
@@ -175,7 +175,9 @@ class TestExcludeObserved:
         for item, score in zip(result.items, result.scores):
             assert kept[int(item)] == score
 
-    def test_context_with_no_observations_excludes_nothing(self, tmp_path):
+    def test_context_with_no_observations_excludes_nothing(
+        self, tmp_path, bitwise
+    ):
         from repro.shards import ShardStore
         from repro.tensor import SparseTensor
 
@@ -186,7 +188,7 @@ class TestExcludeObserved:
         model.attach_store(ShardStore.build(tensor, str(tmp_path / "shards")))
         plain = model.topk((3, 0, 2), 1, 4)
         masked = model.topk((3, 0, 2), 1, 4, exclude_observed=True)
-        np.testing.assert_array_equal(plain.items, masked.items)
+        bitwise(plain.items, masked.items, "masked items with no observations")
 
     def test_store_shape_mismatch_rejected(self, tmp_path):
         from repro.shards import ShardStore

@@ -25,19 +25,20 @@ def brute_topk(scores, k, exclude=None):
     return TopKResult(items=chosen, scores=scores[chosen])
 
 
-def assert_same(a: TopKResult, b: TopKResult):
-    np.testing.assert_array_equal(a.items, b.items)
-    np.testing.assert_array_equal(a.scores, b.scores)
+def assert_same(a: TopKResult, b: TopKResult, bitwise):
+    bitwise(a.items, b.items, "top-K items")
+    bitwise(a.scores, b.scores, "top-K scores")
 
 
 class TestCanonicalTopk:
-    def test_matches_brute_force_on_random_vectors(self):
+    def test_matches_brute_force_on_random_vectors(self, bitwise):
         rng = np.random.default_rng(0)
         for trial in range(25):
             n = int(rng.integers(1, 400))
             scores = rng.standard_normal(n)
             k = int(rng.integers(0, n + 3))
-            assert_same(canonical_topk(scores, k), brute_topk(scores, k))
+            assert_same(canonical_topk(scores, k), brute_topk(scores, k),
+                        bitwise)
 
     def test_ties_at_the_k_boundary_pick_smallest_items(self):
         scores = np.array([1.0, 5.0, 3.0, 3.0, 3.0, 0.0])
@@ -60,12 +61,12 @@ class TestCanonicalTopk:
         assert result.items.shape == (0,)
         assert result.scores.shape == (0,)
 
-    def test_exclusion(self):
+    def test_exclusion(self, bitwise):
         rng = np.random.default_rng(1)
         scores = rng.standard_normal(50)
         exclude = np.array([int(np.argmax(scores)), 7, 7, 12])
         result = canonical_topk(scores, 5, exclude)
-        assert_same(result, brute_topk(scores, 5, exclude))
+        assert_same(result, brute_topk(scores, 5, exclude), bitwise)
         assert not set(exclude) & set(result.items)
 
     def test_excluding_everything_is_empty(self):
@@ -83,26 +84,28 @@ class TestScoreBlock:
             score_block(q, projection), q @ projection, rtol=1e-12
         )
 
-    def test_batch_shape_invariant_bitwise(self):
+    def test_batch_shape_invariant_bitwise(self, bitwise):
         rng = np.random.default_rng(3)
         q = rng.standard_normal((64, 16))
         projection = rng.standard_normal((16, 501))
         full = score_block(q, projection)
         one = score_block(q[17:18], projection)
-        np.testing.assert_array_equal(full[17], one[0])
+        bitwise(full[17], one[0], "row 17 vs single-row batch")
 
-    def test_score_pairs_bitwise_equal_to_score_block_gather(self):
+    def test_score_pairs_bitwise_equal_to_score_block_gather(self, bitwise):
         rng = np.random.default_rng(8)
         q = rng.standard_normal((9, 11))
         projection = rng.standard_normal((11, 200))
         row_map = rng.integers(9, size=57)
         col_map = rng.integers(200, size=57)
         gathered = score_block(q, projection)[row_map, col_map]
-        np.testing.assert_array_equal(
-            score_pairs(q, projection, row_map, col_map), gathered
+        bitwise(
+            score_pairs(q, projection, row_map, col_map),
+            gathered,
+            "score_pairs vs gathered block",
         )
 
-    def test_column_blocking_invariant_bitwise(self):
+    def test_column_blocking_invariant_bitwise(self, bitwise):
         rng = np.random.default_rng(4)
         q = rng.standard_normal((3, 8))
         projection = rng.standard_normal((8, 100))
@@ -112,20 +115,20 @@ class TestScoreBlock:
              (slice(0, 37), slice(37, 64), slice(64, 100))],
             axis=1,
         )
-        np.testing.assert_array_equal(full, split)
+        bitwise(full, split, "column-blocked scores")
 
 
 class TestTopkScores:
     @pytest.mark.parametrize("items_total", [1, 5, 100, 2048, 2049, 5000])
     @pytest.mark.parametrize("k", [1, 3, 64])
-    def test_matches_canonical_full_scan(self, items_total, k):
+    def test_matches_canonical_full_scan(self, items_total, k, bitwise):
         rng = np.random.default_rng(items_total * 31 + k)
         q = rng.standard_normal((4, 6))
         projection = rng.standard_normal((6, items_total))
         results = topk_scores(q, projection, k)
         for row in range(4):
             full = score_block(q[row : row + 1], projection)[0]
-            assert_same(results[row], canonical_topk(full, k))
+            assert_same(results[row], canonical_topk(full, k), bitwise)
 
     def test_pruning_survives_adversarial_ties(self):
         # Constant scores: every chunk maximum equals every score, so the
@@ -137,16 +140,16 @@ class TestTopkScores:
             for result in results:
                 assert list(result.items) == list(range(min(k, 5000)))
 
-    def test_batched_equals_unbatched_bitwise(self):
+    def test_batched_equals_unbatched_bitwise(self, bitwise):
         rng = np.random.default_rng(9)
         q = rng.standard_normal((50, 12))
         projection = rng.standard_normal((12, 7001))
         batch = topk_scores(q, projection, 9)
         for row in range(50):
             single = topk_scores(q[row : row + 1], projection, 9)[0]
-            assert_same(batch[row], single)
+            assert_same(batch[row], single, bitwise)
 
-    def test_row_and_col_block_geometry_does_not_change_results(self):
+    def test_row_and_col_block_geometry_does_not_change_results(self, bitwise):
         rng = np.random.default_rng(10)
         q = rng.standard_normal((7, 5))
         projection = rng.standard_normal((5, 3000))
@@ -156,9 +159,9 @@ class TestTopkScores:
                 q, projection, 12, col_block=col_block, row_block=row_block
             )
             for a, b in zip(results, reference):
-                assert_same(a, b)
+                assert_same(a, b, bitwise)
 
-    def test_per_query_exclusion(self):
+    def test_per_query_exclusion(self, bitwise):
         rng = np.random.default_rng(11)
         q = rng.standard_normal((3, 4))
         projection = rng.standard_normal((4, 600))
@@ -166,4 +169,6 @@ class TestTopkScores:
         results = topk_scores(q, projection, 8, exclude)
         for row in range(3):
             full = score_block(q[row : row + 1], projection)[0]
-            assert_same(results[row], canonical_topk(full, 8, exclude[row]))
+            assert_same(
+                results[row], canonical_topk(full, 8, exclude[row]), bitwise
+            )

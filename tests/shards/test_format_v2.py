@@ -133,7 +133,7 @@ class TestNarrowVsWideBitwise:
     """index_dtype="auto" and "wide" produce bit-identical numerics."""
 
     @pytest.mark.parametrize("order", [3, 4, 5])
-    def test_incore_contexts_bitwise_equal(self, order, rng):
+    def test_incore_contexts_bitwise_equal(self, order, rng, bitwise):
         from repro.kernels.backends import available_backends
 
         shape = tuple([13, 300, 9, 70_000, 5][:order])
@@ -165,14 +165,14 @@ class TestNarrowVsWideBitwise:
                         backend=backend,
                     )
                     results[policy] = fresh[mode]
-                np.testing.assert_array_equal(
+                bitwise(
                     results["auto"],
                     results["wide"],
-                    err_msg=f"backend={backend} mode={mode}",
+                    f"backend={backend} mode={mode}",
                 )
 
     @pytest.mark.parametrize("backend", ["numpy", "threaded"])
-    def test_sharded_sweep_bitwise_equal(self, backend, tmp_path, rng):
+    def test_sharded_sweep_bitwise_equal(self, backend, tmp_path, rng, bitwise):
         tensor = random_sparse_tensor((40, 25, 12), nnz=900, seed=11)
         core = rng.uniform(-0.5, 0.5, size=(3, 3, 3))
         factors = [
@@ -190,9 +190,9 @@ class TestNarrowVsWideBitwise:
             fresh = [np.array(f, copy=True) for f in factors]
             executor.update_factor_mode(fresh, core, 0, 0.01)
             results[policy] = fresh[0]
-        np.testing.assert_array_equal(results["auto"], results["wide"])
+        bitwise(results["auto"], results["wide"], f"backend={backend}")
 
-    def test_full_fit_bitwise_equal(self):
+    def test_full_fit_bitwise_equal(self, bitwise):
         from repro.core import PTucker, PTuckerConfig
 
         tensor = random_sparse_tensor((20, 14, 9), nnz=500, seed=3)
@@ -202,11 +202,11 @@ class TestNarrowVsWideBitwise:
                 ranks=(3, 3, 3), max_iterations=3, index_dtype=policy
             )
             fits[policy] = PTucker(config).fit(tensor)
-        np.testing.assert_array_equal(
-            fits["auto"].core, fits["wide"].core
-        )
-        for narrow, wide in zip(fits["auto"].factors, fits["wide"].factors):
-            np.testing.assert_array_equal(narrow, wide)
+        bitwise(fits["auto"].core, fits["wide"].core, "auto vs wide core")
+        for mode, (narrow, wide) in enumerate(
+            zip(fits["auto"].factors, fits["wide"].factors)
+        ):
+            bitwise(narrow, wide, f"auto vs wide factor {mode}")
 
     def test_for_tensor_rebuilds_on_policy_change(self, tmp_path):
         tensor = random_sparse_tensor((30, 20, 10), nnz=300, seed=7)

@@ -49,13 +49,13 @@ class TestBuildLayout:
     def test_validate_passes_on_fresh_build(self, store):
         store.validate()
 
-    def test_segmentation_matches_in_core_context(self, store, tensor):
+    def test_segmentation_matches_in_core_context(self, store, tensor, bitwise):
         for mode in range(tensor.order):
             context = build_mode_context(tensor, mode)
             row_ids, row_starts, row_counts = store.mode_segmentation(mode)
-            np.testing.assert_array_equal(row_ids, context.row_ids)
-            np.testing.assert_array_equal(row_starts, context.row_starts)
-            np.testing.assert_array_equal(row_counts, context.row_counts)
+            bitwise(row_ids, context.row_ids, f"mode {mode} row_ids")
+            bitwise(row_starts, context.row_starts, f"mode {mode} row_starts")
+            bitwise(row_counts, context.row_counts, f"mode {mode} row_counts")
 
     def test_segment_bookkeeping_in_manifest(self, store, tensor):
         """segment_offset / n_segments / continues_segment describe the cut."""
@@ -82,17 +82,21 @@ class TestBuildLayout:
 
 
 class TestReads:
-    def test_read_mode_block_matches_sorted_slices(self, store, tensor):
+    def test_read_mode_block_matches_sorted_slices(self, store, tensor, bitwise):
         for mode in range(tensor.order):
             context = build_mode_context(tensor, mode)
             # Ranges chosen to sit inside one shard and to cross shards.
             for start, stop in [(0, 10), (140, 160), (0, tensor.nnz), (700, 800)]:
                 indices, values = store.read_mode_block(mode, start, stop)
+                # Indices compare by value: the store's columns are narrow
+                # while the in-core context is wide int64.
                 np.testing.assert_array_equal(
                     indices, context.sorted_indices[start:stop]
                 )
-                np.testing.assert_array_equal(
-                    values, context.sorted_values[start:stop]
+                bitwise(
+                    values,
+                    context.sorted_values[start:stop],
+                    f"mode {mode} values [{start}:{stop}]",
                 )
 
     def test_read_mode_block_clamps_range(self, store):
@@ -102,24 +106,24 @@ class TestReads:
         assert indices.shape == (0, store.order)
         assert values.shape == (0,)
 
-    def test_gather_matches_fancy_indexing(self, store, tensor, rng):
+    def test_gather_matches_fancy_indexing(self, store, tensor, rng, bitwise):
         context = build_mode_context(tensor, 1)
         positions = rng.choice(tensor.nnz, size=120, replace=False)
         indices, values = store.gather_mode_entries(1, positions)
         np.testing.assert_array_equal(indices, context.sorted_indices[positions])
-        np.testing.assert_array_equal(values, context.sorted_values[positions])
+        bitwise(values, context.sorted_values[positions], "gathered values")
 
     def test_gather_rejects_out_of_range(self, store):
         with pytest.raises(ShapeError):
             store.gather_mode_entries(0, np.asarray([store.nnz]))
 
-    def test_iter_mode_blocks_streams_everything(self, store, tensor):
+    def test_iter_mode_blocks_streams_everything(self, store, tensor, bitwise):
         context = build_mode_context(tensor, 0)
         chunks = list(store.iter_mode_blocks(0, 99))
         indices = np.concatenate([c[0] for c in chunks])
         values = np.concatenate([c[1] for c in chunks])
         np.testing.assert_array_equal(indices, context.sorted_indices)
-        np.testing.assert_array_equal(values, context.sorted_values)
+        bitwise(values, context.sorted_values, "streamed values")
 
     def test_unknown_mode_raises(self, store):
         with pytest.raises(ShapeError):

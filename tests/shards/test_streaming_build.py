@@ -215,7 +215,7 @@ class TestStreamingBuildBehaviour:
 
 
 class TestFitStreaming:
-    def test_matches_in_ram_fit(self, tmp_path):
+    def test_matches_in_ram_fit(self, tmp_path, bitwise):
         tensor = random_tensor(3, 1_000, seed=23)
         config = PTuckerConfig(
             ranks=(3, 3, 3),
@@ -227,11 +227,13 @@ class TestFitStreaming:
         )
         in_ram = PTucker(config).fit(tensor)
         streamed = PTucker(config).fit_streaming(TensorEntryReader(tensor))
-        assert np.array_equal(streamed.core, in_ram.core)
-        for mine, theirs in zip(streamed.factors, in_ram.factors):
-            assert np.array_equal(mine, theirs)
+        bitwise(streamed.core, in_ram.core, "streamed vs in-ram core")
+        for mode, (mine, theirs) in enumerate(
+            zip(streamed.factors, in_ram.factors)
+        ):
+            bitwise(mine, theirs, f"streamed vs in-ram factor {mode}")
 
-    def test_from_text_matches_in_ram_fit(self, tmp_path):
+    def test_from_text_matches_in_ram_fit(self, tmp_path, bitwise):
         tensor = random_tensor(3, 800, seed=29)
         path = tmp_path / "t.tns"
         save_text(tensor, path)
@@ -240,7 +242,7 @@ class TestFitStreaming:
         )
         in_ram = PTucker(config).fit(tensor)
         streamed = PTucker(config).fit_streaming(TextEntryReader(path))
-        assert np.array_equal(streamed.core, in_ram.core)
+        bitwise(streamed.core, in_ram.core, "text-ingest vs in-ram core")
 
     def test_persists_store_when_shard_dir_set(self, tmp_path):
         tensor = random_tensor(3, 500, seed=31)

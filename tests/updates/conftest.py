@@ -1,0 +1,71 @@
+"""Shared fixtures for the incremental-update test harness.
+
+The update suites reuse the fault-injection machinery of the resilience
+suite (``tests/resilience/faultinject.py``); the path bridge below makes
+``from faultinject import ...`` resolve from here too.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.shards import ShardStore
+from repro.tensor import SparseTensor
+
+_RESILIENCE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "resilience"
+)
+if _RESILIENCE_DIR not in sys.path:
+    sys.path.insert(0, _RESILIENCE_DIR)
+
+from updatehelpers import random_entries, write_delta  # noqa: E402
+
+
+@pytest.fixture
+def update_case(tmp_path):
+    """Factory: a shard store plus a pending delta, fully parameterised.
+
+    Returns ``(store, base_tensor, delta_indices, delta_values)`` with the
+    delta already committed to the store's delta log.  ``fresh_rows`` adds
+    delta entries in factor rows the base tensor never touches (the
+    zero-prior-entry case the differential suite must cover).
+    """
+
+    def build(
+        shape=(40, 30, 20),
+        base_nnz=600,
+        delta_nnz=80,
+        seed=0,
+        shard_nnz=250,
+        fresh_rows=0,
+    ):
+        from repro.updates import DeltaLog
+
+        rng = np.random.default_rng(seed)
+        base_idx, base_vals = random_entries(rng, shape, base_nnz)
+        if fresh_rows:
+            # Reserve the top rows of every mode for the delta only.
+            for k, s in enumerate(shape):
+                base_idx[:, k] = np.minimum(base_idx[:, k], s - fresh_rows - 1)
+        base = SparseTensor(base_idx, base_vals, shape=shape)
+        store_dir = tmp_path / f"store-{seed}"
+        store = ShardStore.build(base, str(store_dir), shard_nnz=shard_nnz)
+        delta_idx, delta_vals = random_entries(rng, shape, delta_nnz)
+        if fresh_rows:
+            # Aim some delta entries at the reserved (never-seen) rows.
+            n_fresh = max(1, delta_nnz // 4)
+            for k, s in enumerate(shape):
+                delta_idx[:n_fresh, k] = rng.integers(
+                    s - fresh_rows, s, n_fresh
+                )
+        delta_path = write_delta(
+            tmp_path / f"delta-{seed}.rcoo", delta_idx, delta_vals, shape
+        )
+        DeltaLog.open(store.directory).append(delta_path, store.shape)
+        return store, base, delta_idx, delta_vals
+
+    return build

@@ -1,0 +1,180 @@
+"""Chaos tests for the update path: SIGKILL mid-append and mid-compaction.
+
+Real child processes die by real SIGKILL at the exact windows the commit
+protocols must survive (the ``REPRO_INJECT_DELTA_KILL`` /
+``REPRO_INJECT_COMPACT_KILL`` hooks pin the instant).  After every crash
+the store must re-open consistent — zero or all of the delta visible,
+never a mix — and ``shards-verify`` must accept it.  Marked ``chaos``
+and excluded from tier-1 (see ``pytest.ini``); CI runs them as a
+separate timeout-bounded step.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from faultinject import repro_env
+from updatehelpers import random_entries, write_delta
+from repro.cli import main
+from repro.shards import ShardStore
+from repro.tensor import SparseTensor
+from repro.updates import COMPACT_MARKER, DeltaLog, UnionEntrySource, compact
+
+pytestmark = pytest.mark.chaos
+
+CHILD_TIMEOUT = 60.0
+
+
+def _run_cli(argv, extra_env):
+    """Run ``python -m repro <argv>`` in a child with the kill hook set."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=repro_env(extra_env),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        timeout=CHILD_TIMEOUT,
+    )
+
+
+def _build_store(tmp_path, shape=(30, 24, 16), nnz=400, seed=0):
+    rng = np.random.default_rng(seed)
+    indices, values = random_entries(rng, shape, nnz)
+    tensor = SparseTensor(indices, values, shape=shape)
+    return ShardStore.build(tensor, str(tmp_path / "store"), shard_nnz=150)
+
+
+def _verify_cli(store_dir, capsys):
+    code = main(["shards-verify", str(store_dir)])
+    capsys.readouterr()
+    return code
+
+
+class TestKillMidAppend:
+    def test_append_killed_before_commit_is_invisible(
+        self, tmp_path, capsys
+    ):
+        """SIGKILL lands after the delta file is copied but before the log
+        commit: the store re-opens with ZERO of the delta visible."""
+        store = _build_store(tmp_path)
+        rng = np.random.default_rng(1)
+        indices, values = random_entries(rng, store.shape, 40)
+        delta = write_delta(tmp_path / "d.rcoo", indices, values, store.shape)
+
+        result = _run_cli(
+            ["update", str(store.directory), delta],
+            {"REPRO_INJECT_DELTA_KILL": "1"},
+        )
+        assert result.returncode == -9, "child must die by SIGKILL"
+
+        # The orphan file landed; the log never did — nothing is pending.
+        orphan = os.path.join(store.directory, "deltas", "delta0000000.rcoo")
+        assert os.path.exists(orphan)
+        log = DeltaLog.open(store.directory)
+        assert len(log) == 0
+        reopened = ShardStore.open(store.directory)
+        assert reopened.nnz == store.nnz
+        assert UnionEntrySource(reopened).nnz == store.nnz
+        assert _verify_cli(store.directory, capsys) == 0
+
+        # A later (uninjected) append overwrites the orphan and commits
+        # fully — ALL of the delta visible, digests intact.
+        result = _run_cli(["update", str(store.directory), delta], {})
+        assert result.returncode == 0
+        log = DeltaLog.open(store.directory)
+        assert len(log) == 1 and log.pending_nnz == 40
+        log.verify()
+        assert _verify_cli(store.directory, capsys) == 0
+
+
+class TestKillMidCompaction:
+    def _pending_case(self, tmp_path, update_case, seed):
+        store, _, _, _ = update_case(
+            shape=(30, 24, 16), base_nnz=400, delta_nnz=50, seed=seed,
+            shard_nnz=150,
+        )
+        log = DeltaLog.open(store.directory)
+        base = store.to_tensor()
+        delta_idx, delta_vals = log.load_entries(store.order)
+        union = SparseTensor(
+            np.concatenate([base.indices, delta_idx]),
+            np.concatenate([base.values, delta_vals]),
+            shape=store.shape,
+        )
+        fresh = ShardStore.build(
+            union, str(tmp_path / "fresh-union"), shard_nnz=store.shard_nnz
+        )
+        return store, fresh
+
+    @staticmethod
+    def _snapshot(directory):
+        files = {}
+        for root, _, names in os.walk(directory):
+            for name in names:
+                path = os.path.join(root, name)
+                with open(path, "rb") as handle:
+                    files[os.path.relpath(path, directory)] = handle.read()
+        return files
+
+    def test_kill_before_commit_preserves_the_pre_state(
+        self, tmp_path, update_case, capsys
+    ):
+        """Dying after the scratch build but before the marker leaves the
+        old store with ALL deltas still pending (zero folded)."""
+        store, fresh = self._pending_case(tmp_path, update_case, seed=41)
+        base_nnz = store.nnz
+        result = _run_cli(
+            ["compact", str(store.directory)],
+            {"REPRO_INJECT_COMPACT_KILL": "before-commit"},
+        )
+        assert result.returncode == -9
+
+        assert not os.path.exists(
+            os.path.join(store.directory, COMPACT_MARKER)
+        )
+        reopened = ShardStore.open(store.directory)
+        reopened.validate()
+        assert reopened.nnz == base_nnz
+        log = DeltaLog.open(store.directory)
+        assert len(log) == 1
+        log.verify()
+        assert _verify_cli(store.directory, capsys) == 0
+
+        # The interrupted attempt's debris does not corrupt a retry: a
+        # clean compaction still produces the fresh-build files exactly.
+        compacted = compact(str(store.directory))
+        compacted.validate()
+        mine = self._snapshot(compacted.directory)
+        theirs = self._snapshot(fresh.directory)
+        assert sorted(mine) == sorted(theirs)
+        for relative in theirs:
+            assert mine[relative] == theirs[relative], relative
+
+    def test_kill_after_commit_completes_on_next_open(
+        self, tmp_path, update_case, capsys
+    ):
+        """Dying right after the marker lands: the next open finishes the
+        swap — ALL of the delta folded, file-for-file the fresh build."""
+        store, fresh = self._pending_case(tmp_path, update_case, seed=42)
+        result = _run_cli(
+            ["compact", str(store.directory)],
+            {"REPRO_INJECT_COMPACT_KILL": "after-commit"},
+        )
+        assert result.returncode == -9
+        assert os.path.exists(os.path.join(store.directory, COMPACT_MARKER))
+
+        reopened = ShardStore.open(store.directory)
+        reopened.validate()
+        assert reopened.nnz == fresh.nnz
+        assert len(DeltaLog.open(store.directory)) == 0
+        assert not os.path.exists(
+            os.path.join(store.directory, COMPACT_MARKER)
+        )
+        assert _verify_cli(store.directory, capsys) == 0
+        mine = self._snapshot(store.directory)
+        theirs = self._snapshot(fresh.directory)
+        assert sorted(mine) == sorted(theirs)
+        for relative in theirs:
+            assert mine[relative] == theirs[relative], relative

@@ -1,0 +1,139 @@
+"""CLI ``update`` / ``compact``: behaviour, atomicity, exit-2 discipline."""
+
+import numpy as np
+import pytest
+
+from updatehelpers import random_entries, write_delta
+from repro.cli import main
+from repro.model_io import load_result, save_model
+from repro.shards import ShardStore
+from repro.tensor import SparseTensor
+from repro.updates import DeltaLog, apply_delta
+
+
+@pytest.fixture
+def store(tmp_path):
+    rng = np.random.default_rng(50)
+    shape = (20, 15, 8)
+    indices, values = random_entries(rng, shape, 300)
+    tensor = SparseTensor(indices, values, shape=shape)
+    return ShardStore.build(tensor, str(tmp_path / "store"), shard_nnz=120)
+
+
+@pytest.fixture
+def delta(store, tmp_path):
+    rng = np.random.default_rng(51)
+    indices, values = random_entries(rng, store.shape, 40)
+    return write_delta(tmp_path / "delta.rcoo", indices, values, store.shape)
+
+
+@pytest.fixture
+def model_file(store, tmp_path):
+    from repro.core import PTucker, PTuckerConfig
+
+    result = PTucker(
+        PTuckerConfig(ranks=(2, 2, 2), max_iterations=2)
+    ).fit(store.to_tensor())
+    return save_model(result, str(tmp_path / "model"))
+
+
+class TestUpdateCommand:
+    def test_append_without_model(self, store, delta, capsys):
+        assert main(["update", store.directory, delta]) == 0
+        out = capsys.readouterr().out
+        assert "pending deltas: 1 (40 entries)" in out
+        log = DeltaLog.open(store.directory)
+        assert len(log) == 1 and log.pending_nnz == 40
+        log.verify()
+
+    def test_model_update_matches_library_resolve(
+        self, store, delta, model_file, tmp_path, capsys, bitwise
+    ):
+        # Reference: the library path over an identical pending store —
+        # built from the same tensor in the same entry order, because the
+        # union view's tie order follows the base store's build order.
+        rng = np.random.default_rng(50)
+        indices, values = random_entries(rng, store.shape, 300)
+        tensor = SparseTensor(indices, values, shape=store.shape)
+        reference = load_result(model_file)
+        ref_factors = [
+            np.ascontiguousarray(f, dtype=np.float64)
+            for f in reference.factors
+        ]
+        ref_core = np.ascontiguousarray(reference.core, dtype=np.float64)
+        ref_log = DeltaLog.open(store.directory)
+        ref_log.append(delta, store.shape)
+        # Match the CLI's --regularization default (the library's is 0.0).
+        apply_delta(
+            store, ref_factors, ref_core, regularization=0.01, log=ref_log
+        )
+
+        other = ShardStore.build(tensor, str(tmp_path / "other"), shard_nnz=120)
+        output = str(tmp_path / "model-upd")
+        assert main(
+            ["update", other.directory, delta, "--model", model_file,
+             "--output", output]
+        ) == 0
+        assert "factor rows re-solved" in capsys.readouterr().out
+        updated = load_result(output + ".npz")
+        for mode, factor in enumerate(updated.factors):
+            bitwise(
+                np.ascontiguousarray(factor, dtype=np.float64),
+                ref_factors[mode],
+                f"CLI vs library factor {mode}",
+            )
+
+    def test_unreadable_model_leaves_the_log_untouched(
+        self, store, delta, tmp_path, capsys
+    ):
+        """A bad --model path must fail BEFORE the append commits —
+        otherwise a retry would enqueue the delta twice."""
+        missing = str(tmp_path / "no-such-model.npz")
+        assert main(
+            ["update", store.directory, delta, "--model", missing]
+        ) == 2
+        capsys.readouterr()
+        assert len(DeltaLog.open(store.directory)) == 0
+
+    def test_shape_mismatched_delta_is_exit_2(self, store, tmp_path, capsys):
+        rng = np.random.default_rng(52)
+        indices, values = random_entries(rng, (5, 5), 10)
+        bad = write_delta(tmp_path / "bad.rcoo", indices, values, (5, 5))
+        assert main(["update", store.directory, bad]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert len(DeltaLog.open(store.directory)) == 0
+
+    def test_missing_delta_file_is_exit_2(self, store, tmp_path, capsys):
+        assert main(
+            ["update", store.directory, str(tmp_path / "ghost.rcoo")]
+        ) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestCompactCommand:
+    def test_folds_pending_deltas(self, store, delta, capsys):
+        main(["update", store.directory, delta])
+        assert main(["compact", store.directory]) == 0
+        out = capsys.readouterr().out
+        assert "observed entries: 300 -> 340" in out
+        reopened = ShardStore.open(store.directory)
+        assert reopened.nnz == 340
+        assert len(DeltaLog.open(store.directory)) == 0
+
+    def test_nothing_pending_is_a_no_op(self, store, capsys):
+        assert main(["compact", store.directory]) == 0
+        assert "no pending deltas" in capsys.readouterr().out
+        assert ShardStore.open(store.directory).nnz == 300
+
+
+class TestCheckpointDiffPreflight:
+    def test_diff_without_checkpoint_dir_is_exit_2(self, tmp_path, capsys):
+        from repro.tensor import save_text
+        from repro.data import random_sparse_tensor
+
+        path = str(tmp_path / "t.tns")
+        save_text(random_sparse_tensor((6, 5, 4), nnz=40, seed=0), path)
+        assert main(
+            ["fit", path, "--ranks", "2", "--checkpoint-diff"]
+        ) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Delta-log semantics: atomic append, digest pinning, log-order reads."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from updatehelpers import random_entries, write_delta
+from repro.exceptions import DataFormatError, ShapeError
+from repro.shards import ShardStore
+from repro.tensor import SparseTensor
+from repro.updates import DeltaLog, append_delta
+
+SHAPE = (12, 10, 8)
+
+
+@pytest.fixture
+def store(tmp_path):
+    rng = np.random.default_rng(5)
+    indices, values = random_entries(rng, SHAPE, 200)
+    tensor = SparseTensor(indices, values, shape=SHAPE)
+    return ShardStore.build(tensor, str(tmp_path / "store"), shard_nnz=100)
+
+
+class TestAppend:
+    def test_append_commits_record_with_digest(self, store, tmp_path):
+        rng = np.random.default_rng(6)
+        indices, values = random_entries(rng, SHAPE, 30)
+        path = write_delta(tmp_path / "d.rcoo", indices, values, SHAPE)
+        record = append_delta(store, path)
+        assert record.nnz == 30
+        assert record.bytes == os.path.getsize(
+            os.path.join(store.directory, record.file)
+        )
+        assert len(record.sha256) == 64
+        log = DeltaLog.open(store.directory)
+        assert len(log) == 1
+        assert log.pending_nnz == 30
+        log.verify()
+
+    def test_entries_come_back_in_log_append_order(
+        self, store, tmp_path, bitwise
+    ):
+        rng = np.random.default_rng(7)
+        parts = []
+        log = DeltaLog.open(store.directory)
+        for n in range(3):
+            indices, values = random_entries(rng, SHAPE, 10 + n)
+            parts.append((indices, values))
+            log.append(
+                write_delta(tmp_path / f"d{n}.rcoo", indices, values, SHAPE),
+                store.shape,
+            )
+        reread = DeltaLog.open(store.directory)
+        indices, values = reread.load_entries(store.order)
+        bitwise(indices, np.concatenate([p[0] for p in parts]), "indices")
+        bitwise(values, np.concatenate([p[1] for p in parts]), "values")
+
+    def test_shape_mismatch_rejected_before_any_write(self, store, tmp_path):
+        rng = np.random.default_rng(8)
+        indices = np.zeros((4, 2), dtype=np.int64)
+        path = write_delta(tmp_path / "bad.rcoo", indices, rng.normal(size=4), (5, 5))
+        with pytest.raises(ShapeError, match="does not match the store shape"):
+            append_delta(store, path)
+        assert len(DeltaLog.open(store.directory)) == 0
+
+    def test_missing_delta_file_is_a_format_error(self, store, tmp_path):
+        with pytest.raises(DataFormatError, match="does not exist"):
+            append_delta(store, str(tmp_path / "nope.rcoo"))
+
+
+class TestVerify:
+    def _one_delta(self, store, tmp_path, seed=9):
+        rng = np.random.default_rng(seed)
+        indices, values = random_entries(rng, SHAPE, 20)
+        path = write_delta(tmp_path / "d.rcoo", indices, values, SHAPE)
+        return append_delta(store, path)
+
+    def test_bit_flip_is_named_in_the_error(self, store, tmp_path):
+        record = self._one_delta(store, tmp_path)
+        path = os.path.join(store.directory, record.file)
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            byte = handle.read(1)[0]
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([byte ^ 0xFF]))
+        with pytest.raises(DataFormatError, match="sha256 mismatch") as info:
+            DeltaLog.open(store.directory).verify()
+        assert record.file in str(info.value)
+
+    def test_truncation_reports_sizes(self, store, tmp_path):
+        record = self._one_delta(store, tmp_path)
+        path = os.path.join(store.directory, record.file)
+        with open(path, "r+b") as handle:
+            handle.truncate(record.bytes - 3)
+        with pytest.raises(DataFormatError, match="truncated or padded"):
+            DeltaLog.open(store.directory).verify()
+
+    def test_missing_pending_file_is_reported(self, store, tmp_path):
+        record = self._one_delta(store, tmp_path)
+        os.remove(os.path.join(store.directory, record.file))
+        with pytest.raises(DataFormatError, match="missing"):
+            DeltaLog.open(store.directory).verify()
+
+
+class TestOpen:
+    def test_no_log_means_empty(self, store):
+        log = DeltaLog.open(store.directory)
+        assert len(log) == 0
+        assert log.pending_nnz == 0
+
+    def test_orphan_delta_without_log_entry_is_invisible(
+        self, store, tmp_path
+    ):
+        # A crashed append leaves the file but no record; readers must not
+        # see it, and the next append must overwrite it harmlessly.
+        rng = np.random.default_rng(11)
+        indices, values = random_entries(rng, SHAPE, 15)
+        orphan_dir = os.path.join(store.directory, "deltas")
+        os.makedirs(orphan_dir, exist_ok=True)
+        write_delta(
+            os.path.join(orphan_dir, "delta0000000.rcoo"),
+            indices,
+            values,
+            SHAPE,
+        )
+        log = DeltaLog.open(store.directory)
+        assert len(log) == 0
+        fresh_idx, fresh_vals = random_entries(rng, SHAPE, 5)
+        path = write_delta(tmp_path / "d.rcoo", fresh_idx, fresh_vals, SHAPE)
+        record = log.append(path, store.shape)
+        assert record.file.endswith("delta0000000.rcoo")
+        assert record.nnz == 5
+        DeltaLog.open(store.directory).verify()
+
+    def test_garbage_log_raises_format_error(self, store):
+        log = DeltaLog.open(store.directory)
+        os.makedirs(log.delta_dir(), exist_ok=True)
+        with open(log.log_path(), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(DataFormatError, match="invalid JSON"):
+            DeltaLog.open(store.directory)
+
+    def test_wrong_format_field_raises(self, store):
+        log = DeltaLog.open(store.directory)
+        os.makedirs(log.delta_dir(), exist_ok=True)
+        with open(log.log_path(), "w") as handle:
+            json.dump({"format": "something-else", "version": 1}, handle)
+        with pytest.raises(DataFormatError, match="not a delta log"):
+            DeltaLog.open(store.directory)

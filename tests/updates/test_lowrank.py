@@ -1,0 +1,201 @@
+"""Low-rank factor diffs and diff-chained checkpoints, property-tested.
+
+The storage contract is bitwise: ``apply_factor_diff(old,
+factor_diff(old, new))`` must reproduce ``new`` byte for byte — for any
+pair of factors, including NaN payloads and ``-0.0`` — with the update
+**rank inferred** as the number of changed rows.  The checkpoint half
+proves that a diff chain (full anchor + per-iteration row diffs) loads
+every iteration bitwise-equal to what full checkpoints would have stored.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import ConvergenceTrace, IterationRecord
+from repro.exceptions import ShapeError
+from repro.resilience.checkpoint import CheckpointManager
+from repro.updates import LowRankDiff, apply_factor_diff, factor_diff
+
+
+@st.composite
+def factor_pairs(draw):
+    """(old, new) factors of equal shape with a random subset of rows
+    perturbed — sometimes none, sometimes all."""
+    n_rows = draw(st.integers(min_value=0, max_value=12))
+    n_cols = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    fraction = draw(st.floats(min_value=0.0, max_value=1.0))
+    rng = np.random.default_rng(seed)
+    old = rng.normal(size=(n_rows, n_cols))
+    new = old.copy()
+    changed = rng.random(n_rows) < fraction
+    new[changed] = rng.normal(size=(int(changed.sum()), n_cols))
+    return old, new
+
+
+class TestRoundTrip:
+    @given(factor_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_diff_apply_is_bitwise_identity(self, pair):
+        old, new = pair
+        diff = factor_diff(old, new)
+        result = apply_factor_diff(old, diff)
+        assert result.dtype == np.float64
+        assert result.tobytes() == new.tobytes()
+
+    @given(factor_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_is_the_number_of_changed_rows(self, pair):
+        old, new = pair
+        diff = factor_diff(old, new)
+        byte_changed = sum(
+            old[i].tobytes() != new[i].tobytes() for i in range(old.shape[0])
+        )
+        assert diff.rank == byte_changed
+        assert diff.values.shape == (diff.rank, old.shape[1])
+
+    def test_nan_payloads_and_negative_zero_round_trip(self):
+        old = np.array([[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]])
+        new = old.copy()
+        new[0, 0] = -0.0  # same value, different bits
+        new[2, 1] = np.nan
+        diff = factor_diff(old, new)
+        assert diff.rank == 2
+        assert np.array_equal(diff.rows, [0, 2])
+        result = apply_factor_diff(old, diff)
+        assert result.tobytes() == new.tobytes()
+
+    def test_identical_factors_diff_to_rank_zero(self):
+        old = np.arange(12.0).reshape(4, 3)
+        diff = factor_diff(old, old.copy())
+        assert diff.rank == 0
+        assert apply_factor_diff(old, diff).tobytes() == old.tobytes()
+
+
+class TestSelectionMatrix:
+    def test_r_at_c_algebra_matches_the_row_update(self):
+        rng = np.random.default_rng(0)
+        old = rng.normal(size=(6, 4))
+        new = old.copy()
+        new[[1, 4]] = rng.normal(size=(2, 4))
+        diff = factor_diff(old, new)
+        selection = diff.selection_matrix()
+        assert selection.shape == (6, diff.rank)
+        compact = diff.values - old[diff.rows]
+        np.testing.assert_allclose(old + selection @ compact, new)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            factor_diff(np.zeros((3, 2)), np.zeros((4, 2)))
+        diff = LowRankDiff(
+            rows=np.array([0]), values=np.ones((1, 2)), n_rows=3
+        )
+        with pytest.raises(ShapeError):
+            apply_factor_diff(np.zeros((5, 2)), diff)
+        with pytest.raises(ShapeError):
+            apply_factor_diff(np.zeros((3, 4)), diff)
+
+
+class TestCheckpointDiffChain:
+    def _trace(self, iteration):
+        trace = ConvergenceTrace()
+        for n in range(1, iteration + 1):
+            trace.add(
+                IterationRecord(
+                    iteration=n,
+                    reconstruction_error=1.0 / n,
+                    loss=2.0 / n,
+                    seconds=0.0,
+                    core_nnz=8,
+                )
+            )
+        return trace
+
+    def _states(self, iterations=5, seed=0):
+        """A fit-like trajectory: each iteration rewrites a few rows."""
+        rng = np.random.default_rng(seed)
+        factors = [rng.normal(size=(8, 2)), rng.normal(size=(6, 3))]
+        core = rng.normal(size=(2, 3))
+        states = []
+        for n in range(1, iterations + 1):
+            factors = [f.copy() for f in factors]
+            for f in factors:
+                rows = rng.integers(0, f.shape[0], 2)
+                f[rows] = rng.normal(size=(rows.shape[0], f.shape[1]))
+            core = core + 0.01
+            states.append((n, [f.copy() for f in factors], core.copy()))
+        return states
+
+    def test_chain_layout_and_bitwise_reload(self, tmp_path, bitwise):
+        import os
+
+        manager = CheckpointManager(str(tmp_path), diff=True)
+        states = self._states()
+        for iteration, factors, core in states:
+            manager.save(
+                iteration, factors, core, self._trace(iteration), "digest"
+            )
+        # First save is the full anchor; later ones are row diffs.
+        anchor = manager.iter_dir(1)
+        assert os.path.exists(os.path.join(anchor, "factor0.npy"))
+        later = manager.iter_dir(3)
+        assert os.path.exists(os.path.join(later, "factor0.rows.npy"))
+        assert os.path.exists(os.path.join(later, "factor0.diff.npy"))
+        assert not os.path.exists(os.path.join(later, "factor0.npy"))
+        # A fresh manager (no in-memory base) resolves every chain link.
+        reader = CheckpointManager(str(tmp_path))
+        for iteration, factors, core in states:
+            reader.validate(iteration)
+            state = reader.load(iteration)
+            assert state.iteration == iteration
+            bitwise(state.core, core, f"iter {iteration} core")
+            for mode, factor in enumerate(factors):
+                bitwise(
+                    state.factors[mode],
+                    factor,
+                    f"iter {iteration} factor {mode}",
+                )
+
+    def test_diff_chain_equals_full_checkpoints(self, tmp_path, bitwise):
+        """Loading any iteration of a diff chain returns exactly what a
+        full-checkpoint manager stored for the same trajectory."""
+        diffed = CheckpointManager(str(tmp_path / "diff"), diff=True)
+        full = CheckpointManager(str(tmp_path / "full"))
+        for iteration, factors, core in self._states(seed=7):
+            trace = self._trace(iteration)
+            diffed.save(iteration, factors, core, trace, "digest")
+            full.save(iteration, factors, core, trace, "digest")
+        a = CheckpointManager(str(tmp_path / "diff"))
+        b = CheckpointManager(str(tmp_path / "full"))
+        assert a.iterations() == b.iterations()
+        for iteration in a.iterations():
+            mine, theirs = a.load(iteration), b.load(iteration)
+            bitwise(mine.core, theirs.core, f"iter {iteration} core")
+            for mode in range(len(mine.factors)):
+                bitwise(
+                    mine.factors[mode],
+                    theirs.factors[mode],
+                    f"iter {iteration} factor {mode}",
+                )
+
+    def test_manifest_records_base_iteration(self, tmp_path):
+        import json
+        import os
+
+        manager = CheckpointManager(str(tmp_path), diff=True)
+        for iteration, factors, core in self._states(iterations=3):
+            manager.save(
+                iteration, factors, core, self._trace(iteration), "digest"
+            )
+        with open(
+            os.path.join(manager.iter_dir(3), "manifest.json")
+        ) as handle:
+            manifest = json.load(handle)
+        assert manifest["base_iteration"] == 2
+        with open(
+            os.path.join(manager.iter_dir(1), "manifest.json")
+        ) as handle:
+            manifest = json.load(handle)
+        assert "base_iteration" not in manifest

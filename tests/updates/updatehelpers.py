@@ -1,0 +1,36 @@
+"""Shared builders for the incremental-update suites."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.io import write_rcoo
+
+
+class ArraySource:
+    """Minimal chunked entry source over in-RAM arrays (for write_rcoo)."""
+
+    def __init__(self, indices, values, shape):
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.shape = tuple(int(s) for s in shape)
+
+    def iter_entry_chunks(self, chunk_nnz=None):
+        yield self.indices, self.values
+
+
+def random_entries(rng, shape, nnz):
+    """Random COO entries within ``shape`` (duplicates allowed)."""
+    indices = np.stack(
+        [rng.integers(0, s, nnz) for s in shape], axis=1
+    ).astype(np.int64)
+    values = rng.normal(size=nnz)
+    return indices, values
+
+
+def write_delta(path, indices, values, shape):
+    """Write entries as an ``.rcoo`` container and return its path."""
+    write_rcoo(
+        ArraySource(indices, values, shape), str(path), block_nnz=100_000
+    )
+    return str(path)
