@@ -6,6 +6,11 @@ this package registers the built-in backends:
 * ``"numpy"`` — the serial reference implementation (always available);
 * ``"threaded"`` — segment-aligned chunks on a shared-memory thread pool
   (:mod:`~repro.kernels.backends.threaded`);
+* ``"procpool"`` — the same chunk geometry on supervised worker
+  *processes* over the execution fabric
+  (:mod:`~repro.kernels.backends.procpool`): GIL-free overlap on
+  multicore hosts plus transparent recovery from killed or hung workers;
+  degrades to the serial reference on single-CPU hosts;
 * ``"numba"`` — fused ``@njit(parallel=True)`` row loops, registered only
   when ``import numba`` succeeds (:mod:`~repro.kernels.backends.numba_backend`);
   requesting it by name without the dependency silently falls back to
@@ -41,10 +46,12 @@ from .base import (
     resolve_backend,
 )
 from .threaded import ThreadedBackend
+from .procpool import ProcpoolBackend
 from .autotune import AutoBackend, Autotuner, block_size_bucket, shape_class_key
 
 register_backend(NumpyBackend())
 register_backend(ThreadedBackend())
+register_backend(ProcpoolBackend())
 
 try:  # optional dependency: register only where the JIT stack exists
     from .numba_backend import NumbaBackend
@@ -64,6 +71,7 @@ __all__ = [
     "NumbaBackend",
     "NumpyBackend",
     "OPTIONAL_BACKENDS",
+    "ProcpoolBackend",
     "ThreadedBackend",
     "available_backends",
     "backend_names_for_cli",

@@ -1,13 +1,25 @@
-"""Optional process-based parallel row updates.
+"""Fabric-supervised parallel row updates across worker processes.
 
 The default P-Tucker path vectorises each mode update globally, which is the
 fastest strategy for NumPy.  For completeness — and to demonstrate that the
 row independence property of Section III-B really does permit parallel
-execution — this module provides a process-pool executor that partitions the
-rows of one mode across workers, updates each partition independently with
-the same contraction kernel, and merges the results.  Because rows are
-independent, the merged factor matrix is identical (up to floating-point
-associativity) to the serial result; a test asserts this.
+execution — this module partitions the rows of one mode across worker
+processes, updates each partition independently with the same contraction
+kernel, and merges the results.  Because rows are independent, the merged
+factor matrix is identical (up to floating-point associativity) to the
+serial result; a test asserts this.
+
+Execution runs on the supervised fabric (:mod:`repro.fabric`): each row
+partition becomes one fabric task, so worker death (SIGKILL, OOM), hangs
+(missed heartbeats) and wedged tasks (deadline overrun) are detected and
+recovered by re-dispatching *only the unfinished partitions*, after an
+exponential backoff with decorrelated jitter
+(:class:`repro.resilience.retry.BackoffPolicy`).  Row independence makes
+the re-dispatch — and the fabric's straggler hedging — invisible in the
+output.  A partition that keeps failing surfaces as
+:class:`~repro.exceptions.WorkerFailureError` naming the mode and rows;
+an exception *raised* by a worker (a real bug, not a death) propagates
+immediately, since retrying deterministic errors would only repeat them.
 
 Worker inputs are presliced in the parent: the sorted
 :class:`~repro.core.row_update.ModeContext` already groups each row's entries
@@ -27,14 +39,12 @@ from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import WorkerFailureError
+from ..fabric import FabricError, Task, TaskSupervisor
 from ..kernels import (
     concatenated_segment_starts,
     resolve_backend,
@@ -46,8 +56,8 @@ from .partition import partition_rows
 
 logger = logging.getLogger(__name__)
 
-#: Times the executor rebuilds the pool and re-dispatches unfinished row
-#: subsets after worker deaths before giving up with WorkerFailureError.
+#: Times a row subset is re-dispatched after worker deaths/hangs before the
+#: update gives up with WorkerFailureError.
 DEFAULT_MAX_RETRIES = 2
 
 #: Fault-injection hook (tests only): when this environment variable names
@@ -86,8 +96,7 @@ def _update_row_subset(
 
     ``local_indices``/``local_values`` hold only this worker's entries,
     ordered so each row of ``rows`` is one contiguous segment starting at
-    ``segment_starts``.  Returns ``(rows, new_row_values)``.  Module-level so
-    it can be pickled by ``ProcessPoolExecutor``.
+    ``segment_starts``.  Returns ``(rows, new_row_values)``.
     """
     _maybe_inject_worker_death()
     kernel_backend = resolve_backend(backend)
@@ -129,6 +138,16 @@ def _update_row_subset_from_source(
     )
 
 
+def _task_update_rows(context, payload):
+    """Fabric task adapter for :func:`_update_row_subset`."""
+    return _update_row_subset(*payload)
+
+
+def _task_update_rows_from_source(context, payload):
+    """Fabric task adapter for :func:`_update_row_subset_from_source`."""
+    return _update_row_subset_from_source(*payload)
+
+
 def parallel_update_factor_mode(
     tensor: Optional[SparseTensor],
     factors: List[np.ndarray],
@@ -137,14 +156,14 @@ def parallel_update_factor_mode(
     regularization: float,
     n_workers: int = 2,
     scheduling: str = "dynamic",
-    executor: Optional[ProcessPoolExecutor] = None,
+    supervisor: Optional[TaskSupervisor] = None,
     context: Optional[ModeContext] = None,
     backend: str = "numpy",
     source=None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     timeout: Optional[float] = None,
 ) -> np.ndarray:
-    """Update ``A^(mode)`` using a pool of worker processes.
+    """Update ``A^(mode)`` using supervised worker processes.
 
     Rows are partitioned by their |Ω_in| cost under the requested scheduling
     policy, each worker solves its rows independently from a presliced
@@ -160,16 +179,23 @@ def parallel_update_factor_mode(
     no process ever materialises more than one partition's entries.
     ``tensor`` / ``context`` may then be ``None``.
 
-    The dispatch survives worker death: a ``BrokenProcessPool`` (a worker
-    SIGKILLed, OOM-killed or crashed) or a per-future ``timeout`` expiry
-    makes the executor rebuild the pool and re-dispatch *only the row
-    subsets that never finished* — results already merged stay merged, and
-    because rows are independent the recovered update is identical to an
-    undisturbed run.  After ``max_retries`` rebuilds the attempt stops
-    with a :class:`~repro.exceptions.WorkerFailureError` naming the mode
-    and the outstanding rows.  Exceptions *raised* by a worker (a real
-    bug, not a death) propagate immediately — retrying deterministic
+    The dispatch survives worker death: the fabric supervisor detects a
+    worker that exited (SIGKILL, OOM-kill, crash), went silent (missed
+    heartbeats: SIGSTOP, a wedged C call) or overran the per-task
+    ``timeout``, respawns its slot with backoff, and re-dispatches *only
+    the row subsets that never finished* — and because rows are
+    independent the recovered update is identical to an undisturbed run.
+    After ``max_retries`` re-dispatches of the same subset the attempt
+    stops with a :class:`~repro.exceptions.WorkerFailureError` naming the
+    mode and the outstanding rows.  Exceptions *raised* by a worker (a
+    real bug, not a death) propagate immediately — retrying deterministic
     errors would only repeat them.
+
+    ``supervisor`` shares a caller-owned
+    :class:`~repro.fabric.TaskSupervisor` (and its warm worker pool)
+    across sweeps; by default each call runs a private supervisor so
+    environment changes (worker counts, fault-injection hooks) always
+    apply to freshly spawned workers.
     """
     if source is not None:
         row_ids, row_starts, row_counts = source.mode_segmentation(mode)
@@ -187,7 +213,10 @@ def parallel_update_factor_mode(
 
     partition = partition_rows(row_counts.astype(np.float64), n_workers, scheduling)
 
-    jobs: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    factors_payload = [np.asarray(f) for f in factors]
+    core_payload = np.asarray(core)
+    jobs: List[np.ndarray] = []
+    tasks: List[Task] = []
     for worker in range(partition.n_threads):
         positions = partition.thread_items(worker)
         if not positions.size:
@@ -195,92 +224,71 @@ def parallel_update_factor_mode(
         counts = row_counts[positions]
         entry_positions = segment_positions(row_starts[positions], counts)
         starts = concatenated_segment_starts(counts)
-        jobs.append((entry_positions, starts, row_ids[positions]))
-
-    def submit(pool: ProcessPoolExecutor, job):
-        entry_positions, starts, rows = job
+        rows = row_ids[positions]
+        job_id = len(jobs)
+        jobs.append(rows)
         if source is not None:
-            return pool.submit(
-                _update_row_subset_from_source,
-                source,
-                entry_positions,
-                starts,
-                [np.asarray(f) for f in factors],
-                np.asarray(core),
-                mode,
-                rows,
-                regularization,
-                backend,
+            tasks.append(
+                Task(
+                    key=job_id,
+                    fn="repro.parallel.executor:_task_update_rows_from_source",
+                    payload=(
+                        source, entry_positions, starts, factors_payload,
+                        core_payload, mode, rows, regularization, backend,
+                    ),
+                )
             )
-        return pool.submit(
-            _update_row_subset,
-            context.sorted_indices[entry_positions],
-            context.sorted_values[entry_positions],
-            starts,
-            [np.asarray(f) for f in factors],
-            np.asarray(core),
-            mode,
-            rows,
-            regularization,
-            backend,
-        )
+        else:
+            tasks.append(
+                Task(
+                    key=job_id,
+                    fn="repro.parallel.executor:_task_update_rows",
+                    payload=(
+                        context.sorted_indices[entry_positions],
+                        context.sorted_values[entry_positions],
+                        starts, factors_payload, core_payload, mode, rows,
+                        regularization, backend,
+                    ),
+                )
+            )
 
-    pool = executor or ProcessPoolExecutor(max_workers=n_workers)
-    own_pools: List[ProcessPoolExecutor] = [] if executor is not None else [pool]
-    pending = list(range(len(jobs)))
-    retries = 0
+    own_supervisor = supervisor is None
+    if own_supervisor:
+        supervisor = TaskSupervisor(
+            n_workers,
+            task_deadline=timeout,
+            max_task_retries=max_retries,
+            name=f"parallel-mode{mode}",
+        )
     try:
-        while pending:
-            futures = {job_id: submit(pool, jobs[job_id]) for job_id in pending}
-            unfinished: List[int] = []
-            pool_suspect = False
-            for job_id, future in futures.items():
-                try:
-                    rows, new_values = future.result(timeout=timeout)
-                except BrokenProcessPool:
-                    unfinished.append(job_id)
-                    pool_suspect = True
-                except FuturesTimeoutError:
-                    # The worker may still be wedged on this task; the only
-                    # safe recovery is a fresh pool for the re-dispatch.
-                    future.cancel()
-                    unfinished.append(job_id)
-                    pool_suspect = True
-                else:
-                    factors[mode][rows] = new_values
-            if not unfinished:
-                break
-            if retries >= max_retries:
-                outstanding = np.concatenate(
-                    [jobs[job_id][2] for job_id in unfinished]
-                )
-                raise WorkerFailureError(
-                    f"mode-{mode} parallel update failed: worker processes "
-                    f"died or timed out {retries + 1} times "
-                    f"(max_retries={max_retries}); {outstanding.shape[0]} "
-                    f"rows never finished (first few: "
-                    f"{outstanding[:8].tolist()})"
-                )
-            retries += 1
-            pending = unfinished
-            logger.warning(
-                "mode-%d parallel update lost %d of %d row subsets to "
-                "worker death/timeout; rebuilding the pool and "
-                "re-dispatching (retry %d of %d)",
-                mode,
-                len(unfinished),
-                len(jobs),
-                retries,
-                max_retries,
-            )
-            if pool_suspect:
-                # A caller-supplied pool that broke stays the caller's to
-                # shut down; the retry always gets a fresh pool of ours.
-                if pool in own_pools:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=n_workers)
-                own_pools.append(pool)
+        try:
+            results = supervisor.run_tasks(tasks, deadline=timeout)
+        except FabricError as exc:
+            outstanding = _outstanding_rows(exc, jobs)
+            raise WorkerFailureError(
+                f"mode-{mode} parallel update failed: worker processes "
+                f"died, hung or timed out until the re-dispatch budget ran "
+                f"out (max_retries={max_retries}); {outstanding.shape[0]} "
+                f"rows never finished (first few: "
+                f"{outstanding[:8].tolist()}); supervisor said: {exc}"
+            ) from exc
     finally:
-        for own in own_pools:
-            own.shutdown()
+        if own_supervisor:
+            supervisor.shutdown()
+    for rows, new_values in results:
+        factors[mode][rows] = new_values
     return factors[mode]
+
+
+def _outstanding_rows(exc: FabricError, jobs: List[np.ndarray]) -> np.ndarray:
+    """Rows of the partitions a fabric failure left unfinished."""
+    keys = getattr(exc, "keys", None)
+    if keys is None:
+        key = getattr(exc, "key", None)
+        keys = [key] if key is not None else []
+    job_ids = sorted(
+        {key[1] for key in keys if isinstance(key, tuple) and len(key) == 2}
+    )
+    if not job_ids:
+        return np.concatenate(jobs)
+    return np.concatenate([jobs[job_id] for job_id in job_ids])

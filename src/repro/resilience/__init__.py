@@ -20,8 +20,24 @@ durability substrate that makes them interruptible.  Two halves:
 
 Wire it with ``PTuckerConfig(checkpoint_dir=..., checkpoint_every=...,
 resume=...)`` or the CLI ``fit --checkpoint-dir DIR`` / ``--resume``.
+
+A third half, :mod:`repro.resilience.retry`, is the shared *transient
+failure* vocabulary: :class:`~repro.resilience.retry.Deadline` wall-clock
+budgets, :class:`~repro.resilience.retry.BackoffPolicy` exponential
+backoff with decorrelated jitter, and the
+:func:`~repro.resilience.retry.retry` driver.  The execution fabric
+(:mod:`repro.fabric`) schedules worker respawns and task re-dispatches
+with it, and :func:`repro.parallel.executor.parallel_update_factor_mode`
+inherits the same policy through the fabric.
 """
 
+from .retry import (
+    BackoffPolicy,
+    Deadline,
+    RetryExhaustedError,
+    decorrelated_jitter,
+    retry,
+)
 from .atomic import (
     TMP_SUFFIX,
     atomic_open,
@@ -58,11 +74,16 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "BackoffPolicy",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
     "CheckpointManager",
     "CheckpointState",
+    "Deadline",
+    "RetryExhaustedError",
     "TMP_SUFFIX",
+    "decorrelated_jitter",
+    "retry",
     "atomic_open",
     "atomic_save_array",
     "atomic_write_bytes",

@@ -71,6 +71,7 @@ def test_readme_documents_the_cli_flags():
         "--stdio",
         "--no-http",
         "--mmap",
+        "--workers",
     ):
         assert flag in text, f"README CLI table is missing {flag}"
     for command in (
@@ -102,6 +103,16 @@ def test_readme_documents_the_cli_flags():
         ("repro.resilience", ("atomic_open", "CheckpointManager", "bitwise")),
         ("repro.resilience.atomic", ("fsync", "rename", "crash")),
         ("repro.resilience.checkpoint", ("manifest", "bitwise", "resume")),
+        # ``retry`` the function shadows the submodule for pydoc (like
+        # ``updates.compact``); the needles target the function docstring.
+        ("repro.resilience.retry", ("deadline", "backoff", "attempts")),
+        ("repro.fabric", ("TaskSupervisor", "heartbeat", "bitwise")),
+        ("repro.fabric.protocol", ("frame", "magic", "length")),
+        ("repro.fabric.supervisor", ("hedg", "deadline", "poison")),
+        ("repro.fabric.pool", ("setup log", "respawn", "backoff")),
+        ("repro.fabric.worker", ("dotted path", "HEARTBEAT", "SIGSTOP")),
+        ("repro.kernels.backends.procpool", ("fabric", "GIL", "bitwise")),
+        ("repro.serve.workers", ("item axis", "degrades", "no-blend")),
         ("repro.updates", ("DeltaLog", "targeted", "compaction")),
         ("repro.updates.deltalog", ("deltalog.json", "commit", "sha256")),
         ("repro.updates.union", ("read_mode_block", "bitwise", "log-append")),

@@ -1,0 +1,85 @@
+"""Tests for the length-prefixed worker frame protocol."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.protocol import (
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    Frame,
+    FrameKind,
+    FrameReader,
+    ProtocolError,
+    encode_frame,
+)
+
+
+def test_roundtrip_simple_payload():
+    wire = encode_frame(FrameKind.TASK, {"key": 3, "data": [1, 2, 3]})
+    frames = FrameReader().feed(wire)
+    assert frames == [Frame(FrameKind.TASK, {"key": 3, "data": [1, 2, 3]})]
+
+
+def test_roundtrip_numpy_payload():
+    array = np.arange(12, dtype=np.float64).reshape(3, 4)
+    wire = encode_frame(FrameKind.RESULT, ("key", array))
+    [frame] = FrameReader().feed(wire)
+    key, decoded = frame.payload
+    assert key == "key"
+    np.testing.assert_array_equal(decoded, array)
+    assert decoded.dtype == array.dtype
+
+
+def test_multiple_frames_in_one_feed():
+    wire = encode_frame(FrameKind.HELLO, 1) + encode_frame(
+        FrameKind.HEARTBEAT, None
+    ) + encode_frame(FrameKind.SHUTDOWN, None)
+    frames = FrameReader().feed(wire)
+    assert [f.kind for f in frames] == [
+        FrameKind.HELLO, FrameKind.HEARTBEAT, FrameKind.SHUTDOWN
+    ]
+
+
+def test_byte_at_a_time_reassembly():
+    """Frames split at every possible boundary still decode identically."""
+    wire = encode_frame(FrameKind.SETUP, (7, "key", "mod:fn", [1.5, 2.5]))
+    reader = FrameReader()
+    frames = []
+    for i in range(len(wire)):
+        frames.extend(reader.feed(wire[i : i + 1]))
+    assert frames == [Frame(FrameKind.SETUP, (7, "key", "mod:fn", [1.5, 2.5]))]
+    assert reader.pending_bytes == 0
+
+
+def test_partial_frame_reports_pending_bytes():
+    wire = encode_frame(FrameKind.TASK, list(range(100)))
+    reader = FrameReader()
+    assert reader.feed(wire[:10]) == []
+    assert reader.pending_bytes == 10
+
+
+def test_bad_magic_raises_protocol_error():
+    wire = bytearray(encode_frame(FrameKind.TASK, None))
+    wire[0] ^= 0xFF
+    with pytest.raises(ProtocolError, match="magic"):
+        FrameReader().feed(bytes(wire))
+
+
+def test_unknown_frame_kind_raises():
+    bogus = HEADER.pack(MAGIC, 250, 0)
+    with pytest.raises(ProtocolError):
+        FrameReader().feed(bogus)
+
+
+def test_oversized_length_prefix_rejected_before_allocation():
+    huge = HEADER.pack(MAGIC, int(FrameKind.TASK), MAX_PAYLOAD_BYTES + 1)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        FrameReader().feed(huge)
+
+
+def test_corrupt_pickle_payload_raises():
+    garbage = b"\x00not-a-pickle"
+    wire = HEADER.pack(MAGIC, int(FrameKind.TASK), len(garbage)) + garbage
+    with pytest.raises(ProtocolError, match="unpickle"):
+        FrameReader().feed(wire)

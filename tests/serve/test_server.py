@@ -79,7 +79,7 @@ class TestHandleRequest:
 
     def test_health(self):
         reply = call(ModelServer(build_model()), "health", {})
-        assert reply == {"status": "ok"}
+        assert reply == {"status": "ok", "ready": True}
 
     def test_stats_payload_shape(self):
         model = build_model()
@@ -193,7 +193,7 @@ class TestEndToEnd:
             assert match, f"no serving banner in {banner!r}"
             base = f"http://{match.group(1)}:{match.group(2)}"
 
-            assert get(base, "/health") == {"status": "ok"}
+            assert get(base, "/health") == {"status": "ok", "ready": True}
 
             reply = post(base, "/predict", {"index": [1, 2, 3]})
             assert len(reply["values"]) == 1
